@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment X4: the line-size ablation of footnote 4.
+ *
+ * "This is an abnormally large miss rate for a 16 kilobyte cache.
+ * We attribute it to the small line size (4 bytes).  A larger line
+ * would probably have reduced the miss rate considerably, but it
+ * would have complicated the design of the cache, the MBus, and the
+ * storage modules.  Since the penalty for a miss is only one tick if
+ * the MBus is available... we did not pursue a larger line."
+ *
+ * We sweep 4/8/16/32-byte lines (burst transfers on the MBus, +1
+ * cycle per extra word) and report miss rate, bus load, and delivered
+ * performance on single- and five-CPU machines.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "firefly/system.hh"
+
+using namespace firefly;
+
+namespace
+{
+
+struct Result
+{
+    double missRate;
+    double busLoad;
+    double tpi;
+    double totalPerf;
+};
+
+Result
+run(Addr line_bytes, unsigned cpus, double seconds = 0.1)
+{
+    auto cfg = FireflyConfig::microVax(cpus);
+    cfg.cacheGeometry = {16 * 1024, line_bytes};
+    FireflySystem sys(cfg);
+    sys.attachSyntheticWorkload(SyntheticConfig{});
+    sys.run(seconds);
+
+    double miss = 0, tpi = 0, instrs = 0;
+    for (unsigned i = 0; i < cpus; ++i) {
+        miss += sys.cache(i).stats().get("miss_rate");
+        tpi += sys.cpu(i).tpi();
+        instrs += static_cast<double>(sys.cpu(i).instructions());
+    }
+    const double nowait = seconds / (microVaxBaseTpi * 200e-9);
+    return {miss / cpus, sys.busLoad(), tpi / cpus, instrs / nowait};
+}
+
+void
+experiment()
+{
+    bench::banner("X4", "Cache line size ablation (footnote 4)");
+    std::printf("16 KB direct-mapped cache, calibrated synthetic "
+                "workload; MBus bursts cost +1 cycle per extra "
+                "longword.\n\n");
+    std::printf("%10s | %21s | %29s\n", "",
+                "1 CPU", "5 CPUs");
+    std::printf("%10s | %6s %6s %6s | %6s %6s %6s %8s\n",
+                "line bytes", "M", "L", "TPI", "M", "L", "TPI", "TP");
+    bench::rule();
+    for (Addr line : {4u, 8u, 16u, 32u}) {
+        const auto one = run(line, 1);
+        const auto five = run(line, 5);
+        std::printf("%10u | %6.3f %6.2f %6.2f | %6.3f %6.2f %6.2f "
+                    "%8.2f\n",
+                    line, one.missRate, one.busLoad, one.tpi,
+                    five.missRate, five.busLoad, five.tpi,
+                    five.totalPerf);
+    }
+    bench::rule();
+    std::printf(
+        "Expected shape: the miss rate falls considerably with line\n"
+        "size (spatial locality the 4-byte line could not exploit),\n"
+        "confirming footnote 4.  Whether bus load falls too depends\n"
+        "on the burst cost - the trade the designers declined to\n"
+        "take in exchange for a simple cache, bus, and storage "
+        "design.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return firefly::bench::runBenchMain(argc, argv, experiment);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment X1: validate the Section 5.2 analytic model against the
+ * cycle-level simulator across processor counts, reproducing the
+ * paper's scaling claims: bus load ~0.4 and ~85% per-processor speed
+ * at five CPUs, saturation around nine.
+ */
+
+#include <cstdio>
+
+#include "analytic/queueing_model.hh"
+#include "bench_util.hh"
+#include "firefly/system.hh"
+
+using namespace firefly;
+
+namespace
+{
+
+struct SimPoint
+{
+    double load;
+    double tpi;
+    double rp;
+    double tp;
+    double missRate;
+};
+
+SimPoint
+simulate(unsigned np, double seconds = 0.12)
+{
+    FireflySystem sys(FireflyConfig::microVax(np));
+    sys.attachSyntheticWorkload(SyntheticConfig{});
+    sys.run(seconds);
+
+    double tpi_sum = 0;
+    double total_ips = 0;
+    double miss_sum = 0;
+    for (unsigned i = 0; i < np; ++i) {
+        tpi_sum += sys.cpu(i).tpi();
+        total_ips += sys.cpu(i).instructions() / sys.seconds();
+        miss_sum += sys.cache(i).stats().get("miss_rate");
+    }
+    const double tpi = tpi_sum / np;
+    // One no-wait-state processor executes 1/(11.9 * 200ns) instr/s.
+    const double nowait_ips = 1.0 / (microVaxBaseTpi * 200e-9);
+    return {sys.busLoad(), tpi, microVaxBaseTpi / tpi,
+            total_ips / nowait_ips, miss_sum / np};
+}
+
+void
+experiment()
+{
+    bench::banner("X1",
+                  "Scaling: analytic model vs cycle-level simulation");
+    std::printf("Synthetic calibrated workload (M~0.2, D~0.25, "
+                "S=0.1); simulation of 0.12 s per point.\n\n");
+    std::printf("%4s | %21s | %31s\n", "",
+                "analytic (Table 1 model)", "simulated (this system)");
+    std::printf("%4s | %6s %6s %6s %6s | %6s %6s %6s %6s %6s\n", "NP",
+                "L", "TPI", "RP", "TP", "L", "TPI", "RP", "TP", "M");
+    bench::rule();
+
+    QueueingModel model;
+    for (unsigned np : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u, 12u}) {
+        const auto row = model.rowForProcessors(np);
+        const auto sim = simulate(np);
+        std::printf(
+            "%4u | %6.2f %6.1f %6.2f %6.2f | %6.2f %6.1f %6.2f %6.2f "
+            "%6.2f\n",
+            np, row.busLoad, row.tpi, row.relativePerf, row.totalPerf,
+            sim.load, sim.tpi, sim.rp, sim.tp, sim.missRate);
+    }
+
+    bench::rule();
+    const auto five = simulate(5);
+    std::printf("Five-CPU machine (paper: L~0.4, RP~0.85, TP>4): "
+                "simulated L=%.2f RP=%.2f TP=%.2f\n",
+                five.load, five.rp, five.tp);
+}
+
+void
+simulatorSpeed(benchmark::State &state)
+{
+    // Wall-clock cost of simulating one millisecond of a machine.
+    for (auto _ : state) {
+        FireflySystem sys(
+            FireflyConfig::microVax(state.range(0)));
+        sys.attachSyntheticWorkload(SyntheticConfig{});
+        sys.run(0.001);
+        benchmark::DoNotOptimize(sys.busLoad());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(simulatorSpeed)->Arg(1)->Arg(5);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return firefly::bench::runBenchMain(argc, argv, experiment);
+}

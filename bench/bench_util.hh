@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the experiment regeneration binaries.
+ *
+ * Every binary under bench/ regenerates one table or figure of the
+ * paper (see DESIGN.md's experiment index): it prints the paper's
+ * numbers next to the model's/simulator's, so the shape comparison is
+ * immediate.  Passing --gbench additionally runs any registered
+ * google-benchmark microbenchmarks (simulator speed measurements).
+ */
+
+#ifndef FIREFLY_BENCH_BENCH_UTIL_HH
+#define FIREFLY_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace firefly::bench
+{
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id.c_str(), title.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print a horizontal rule. */
+inline void
+rule()
+{
+    std::printf("--------------------------------------------------------------\n");
+}
+
+/**
+ * Standard main body: run the experiment, then google-benchmark if
+ * requested.  Returns the process exit code.
+ */
+inline int
+runBenchMain(int argc, char **argv, void (*experiment)())
+{
+    bool gbench = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--gbench") == 0)
+            gbench = true;
+    }
+
+    experiment();
+
+    if (gbench) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    return 0;
+}
+
+} // namespace firefly::bench
+
+#endif // FIREFLY_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,148 @@
+#include "analytic/queueing_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+QueueingModel::QueueingModel(const QueueModelParams &params)
+    : p(params)
+{
+    if (p.missRate < 0 || p.missRate > 1 || p.baseTpi <= 0 ||
+        p.ticksPerBusOp <= 0) {
+        fatal("nonsensical queueing model parameters");
+    }
+}
+
+double
+QueueingModel::sm(double load) const
+{
+    return p.mix.total() * p.missRate * (1.0 + p.dirtyFraction) *
+           p.ticksPerBusOp / (1.0 - load);
+}
+
+double
+QueueingModel::sw(double load) const
+{
+    return p.mix.dataWrites * p.sharedWriteFrac * p.ticksPerBusOp /
+           (1.0 - load);
+}
+
+double
+QueueingModel::sp(double load) const
+{
+    return p.mix.total() * (1.0 - p.missRate) * load / p.ticksPerBusOp;
+}
+
+double
+QueueingModel::tpi(double load) const
+{
+    return p.baseTpi + sm(load) + sw(load) + sp(load);
+}
+
+double
+QueueingModel::relativePerformance(double load) const
+{
+    return p.baseTpi / tpi(load);
+}
+
+double
+QueueingModel::busOpsPerInstruction() const
+{
+    return p.missRate * p.mix.total() * (1.0 + p.dirtyFraction) +
+           p.mix.dataWrites * p.sharedWriteFrac;
+}
+
+double
+QueueingModel::processorsForLoad(double load) const
+{
+    // NP = (L/N) / (busOpsPerInstruction / TPI).
+    return load * tpi(load) / (p.ticksPerBusOp * busOpsPerInstruction());
+}
+
+double
+QueueingModel::totalPerformance(double load) const
+{
+    return relativePerformance(load) * processorsForLoad(load);
+}
+
+double
+QueueingModel::loadForProcessors(double processors) const
+{
+    if (processors <= 0)
+        return 0.0;
+    double lo = 0.0, hi = 1.0 - 1e-9;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (processorsForLoad(mid) < processors)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+PerformanceRow
+QueueingModel::rowForProcessors(double processors) const
+{
+    const double load = loadForProcessors(processors);
+    return {processors, load, tpi(load), relativePerformance(load),
+            totalPerformance(load)};
+}
+
+std::vector<PerformanceRow>
+QueueingModel::table1() const
+{
+    std::vector<PerformanceRow> rows;
+    for (int np = 2; np <= 12; np += 2)
+        rows.push_back(rowForProcessors(np));
+    return rows;
+}
+
+PerformanceRow
+QueueingModel::closedRowForProcessors(unsigned processors) const
+{
+    // One bus operation takes s = N ticks of service; between bus
+    // operations a processor "thinks" for the rest of its
+    // instruction time: Z = baseTpi / (ops per instruction).
+    const double ops_per_instr = busOpsPerInstruction();
+    const double s = p.ticksPerBusOp;
+    const double z = p.baseTpi / ops_per_instr;
+
+    // Exact MVA on the single bus station.
+    double queue = 0.0;
+    double throughput = 0.0;  // bus ops per tick, whole system
+    for (unsigned k = 1; k <= processors; ++k) {
+        const double response = s * (1.0 + queue);
+        throughput = k / (z + response);
+        queue = throughput * response;
+    }
+
+    const double load = throughput * s;
+    // Ticks per instruction: each processor completes
+    // throughput/NP ops per tick = (throughput/NP)/ops_per_instr
+    // instructions per tick; add the tag-probe interference term the
+    // open model also charges.
+    double tpi = processors * ops_per_instr / throughput;
+    tpi += sp(load);
+    const double rp = p.baseTpi / tpi;
+    return {static_cast<double>(processors), load, tpi, rp,
+            rp * processors};
+}
+
+double
+QueueingModel::saturationProcessors(double threshold) const
+{
+    double prev_tp = totalPerformance(loadForProcessors(1.0));
+    for (double np = 2.0; np < 64.0; np += 1.0) {
+        const double tp = totalPerformance(loadForProcessors(np));
+        if (tp - prev_tp < threshold)
+            return np - 1.0;  // the last worthwhile processor count
+        prev_tp = tp;
+    }
+    return 64.0;
+}
+
+} // namespace firefly

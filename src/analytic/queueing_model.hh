@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paper's back-of-the-envelope performance model (Section 5.2).
+ *
+ * A single processor's cache behaviour (miss rate M, dirty fraction
+ * D) plus the VAX reference mix feed an open queueing model of the
+ * MBus: an operation takes N ticks plus N*L/(1-L) of queueing at bus
+ * load L.  Three terms inflate the base 11.9 TPI:
+ *
+ *   SM (misses)        = TR * M * (1+D) * N/(1-L)
+ *   SW (write-through) = DW * S * N/(1-L)
+ *   SP (tag probes)    = TR * (1-M) * (1/N) * L
+ *
+ * From TPI(L) follow the relative per-processor performance
+ * RP = TPI0/TPI, the processor count that generates the load
+ * NP = L*TPI / (N*(M*TR*(1+D) + DW*S)), and total performance
+ * TP = RP*NP.  Table 1 tabulates these for NP = 2..12.
+ */
+
+#ifndef FIREFLY_ANALYTIC_QUEUEING_MODEL_HH
+#define FIREFLY_ANALYTIC_QUEUEING_MODEL_HH
+
+#include <vector>
+
+#include "cpu/vax_mix.hh"
+
+namespace firefly
+{
+
+/** Inputs to the Section 5.2 model, defaulted to the paper's values. */
+struct QueueModelParams
+{
+    VaxMix mix{};
+    double missRate = 0.2;         ///< M, per-CPU cache miss rate
+    double dirtyFraction = 0.25;   ///< D, dirty cache entries
+    double sharedWriteFrac = 0.1;  ///< S, writes to shared data
+    double baseTpi = microVaxBaseTpi;  ///< no-wait-state TPI
+    double ticksPerBusOp = 2.0;    ///< N, MBus op duration in ticks
+};
+
+/** One row of Table 1. */
+struct PerformanceRow
+{
+    double processors;   ///< NP
+    double busLoad;      ///< L
+    double tpi;          ///< TPI
+    double relativePerf; ///< RP
+    double totalPerf;    ///< TP
+};
+
+/** The Section 5.2 open queueing model. */
+class QueueingModel
+{
+  public:
+    explicit QueueingModel(const QueueModelParams &params = {});
+
+    const QueueModelParams &params() const { return p; }
+
+    /** Ticks per instruction added by miss service at load L. */
+    double sm(double load) const;
+    /** Ticks added by shared write-throughs. */
+    double sw(double load) const;
+    /** Ticks lost to snoop probes of the tag store. */
+    double sp(double load) const;
+
+    /** Total ticks per instruction at bus load L. */
+    double tpi(double load) const;
+    /** Per-processor performance relative to no-wait-state memory. */
+    double relativePerformance(double load) const;
+    /** MBus operations issued per instruction by one processor. */
+    double busOpsPerInstruction() const;
+    /** Number of processors that would produce bus load L. */
+    double processorsForLoad(double load) const;
+    /** System performance (in single-no-wait-processor units). */
+    double totalPerformance(double load) const;
+
+    /** Invert processorsForLoad by bisection. */
+    double loadForProcessors(double processors) const;
+
+    /** All five Table 1 quantities for a processor count. */
+    PerformanceRow rowForProcessors(double processors) const;
+
+    /** The paper's Table 1: NP = 2, 4, 6, 8, 10, 12. */
+    std::vector<PerformanceRow> table1() const;
+
+    /**
+     * Smallest processor count whose marginal total-performance gain
+     * per added processor falls below `threshold` (the paper: "the
+     * Firefly MBus can support perhaps nine processors before the
+     * marginal improvement ... becomes unattractive").
+     */
+    double saturationProcessors(double threshold = 0.5) const;
+
+    /**
+     * Closed-network refinement.  The paper's open model charges
+     * every bus operation N/(1-L) ticks and admits "this is not
+     * accurate at high loads, since the number of caches requesting
+     * service is bounded".  This variant treats the machine as a
+     * closed queueing network - NP customers cycling between a think
+     * stage (compute between bus operations) and the bus - solved by
+     * exact Mean Value Analysis, so the bounded population is
+     * honoured and the predicted load never reaches 1.
+     */
+    PerformanceRow closedRowForProcessors(unsigned processors) const;
+
+  private:
+    QueueModelParams p;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_ANALYTIC_QUEUEING_MODEL_HH

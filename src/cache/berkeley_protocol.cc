@@ -1,0 +1,92 @@
+#include "cache/berkeley_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+WriteHitAction
+BerkeleyProtocol::writeHit(const CacheLine &line) const
+{
+    switch (line.state) {
+      case LineState::Dirty:
+        return WriteHitAction::Silent;  // already exclusive owner
+      case LineState::SharedDirty:
+      case LineState::Shared:
+        // Must (re)acquire exclusive ownership before writing.
+        return WriteHitAction::Invalidate;
+      default:
+        panic("Berkeley write hit in state %s", toString(line.state));
+    }
+}
+
+WriteMissAction
+BerkeleyProtocol::writeMiss(unsigned) const
+{
+    return WriteMissAction::ReadOwned;
+}
+
+LineState
+BerkeleyProtocol::fillState(bool) const
+{
+    // Berkeley has no exclusive-clean state; reads install
+    // unowned-shared regardless of MShared.
+    return LineState::Shared;
+}
+
+LineState
+BerkeleyProtocol::afterWriteThrough(bool) const
+{
+    // Only reachable through DMA writes routed via this cache: the
+    // write updated memory, leaving our copy clean and unowned.
+    return LineState::Shared;
+}
+
+SnoopReply
+BerkeleyProtocol::snoopProbe(const CacheLine &line,
+                             const MBusTransaction &txn) const
+{
+    SnoopReply reply;
+    reply.shared = true;
+
+    switch (txn.type) {
+      case MBusOpType::MRead:
+      case MBusOpType::MReadOwned:
+        // The owner supplies the data (memory may be stale).
+        reply.supply = needsWriteback(line.state);
+        break;
+      case MBusOpType::MWrite:
+      case MBusOpType::MInvalidate:
+        break;
+    }
+    return reply;
+}
+
+void
+BerkeleyProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
+                             unsigned) const
+{
+    switch (txn.type) {
+      case MBusOpType::MRead:
+        // A reader took a copy; an exclusive owner becomes
+        // owned-shared and keeps write-back responsibility.
+        if (line.state == LineState::Dirty)
+            line.state = LineState::SharedDirty;
+        break;
+
+      case MBusOpType::MReadOwned:
+      case MBusOpType::MInvalidate:
+        line.state = LineState::Invalid;
+        break;
+
+      case MBusOpType::MWrite:
+        // DMA write or foreign victim write updated memory behind
+        // our back: drop the copy rather than merge (Berkeley has no
+        // update path).
+        if (txn.updatesMemory)
+            line.state = LineState::Invalid;
+        break;
+    }
+}
+
+} // namespace firefly

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Berkeley Ownership protocol (Katz et al., cited by the paper as the
+ * canonical ownership/invalidation design).
+ *
+ * A cache must acquire *ownership* of a line before writing it;
+ * acquiring ownership invalidates all other copies.  The owner is
+ * responsible for supplying the line to readers (becoming owned-
+ * shared, SharedDirty here) and for the eventual write-back; main
+ * memory is not updated while an owner exists.  States: Invalid,
+ * unowned-Shared, owned-exclusive (Dirty), owned-shared
+ * (SharedDirty).  There is no exclusive-clean state: fills always
+ * install unowned-Shared.
+ */
+
+#ifndef FIREFLY_CACHE_BERKELEY_PROTOCOL_HH
+#define FIREFLY_CACHE_BERKELEY_PROTOCOL_HH
+
+#include "cache/protocol.hh"
+
+namespace firefly
+{
+
+/** Invalidation protocol with explicit ownership. */
+class BerkeleyProtocol : public CoherenceProtocol
+{
+  public:
+    const char *name() const override { return "Berkeley"; }
+
+    WriteHitAction writeHit(const CacheLine &line) const override;
+    WriteMissAction writeMiss(unsigned line_words) const override;
+    LineState fillState(bool mshared) const override;
+    LineState afterWriteThrough(bool mshared) const override;
+    bool fillsUpdateMemory() const override { return false; }
+
+    SnoopReply snoopProbe(const CacheLine &line,
+                          const MBusTransaction &txn) const override;
+    void snoopApply(CacheLine &line, const MBusTransaction &txn,
+                    unsigned line_words) const override;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_BERKELEY_PROTOCOL_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The direct-mapped snoopy cache engine.
+ *
+ * One Cache sits between a processor (or the DMA path, for the I/O
+ * processor's cache) and the MBus.  It owns the mechanics - lookup,
+ * victim write-back ordering, bus transaction sequencing, data
+ * movement, tag-store contention - and defers every coherence policy
+ * decision to its CoherenceProtocol.
+ *
+ * Geometry matches the paper: 16 KB with 4-byte lines (4096 lines) on
+ * the MicroVAX boards, 64 KB (16384 lines) on the CVAX boards, always
+ * direct mapped.  Line sizes above 4 bytes are supported for the
+ * footnote-4 ablation.
+ *
+ * Timing notes:
+ *  - The tag store is single ported: a snoop probe in bus cycle C
+ *    makes a CPU access attempted in C retry one processor tick later
+ *    (the paper's SP term).
+ *  - The cache handles one access at a time; misses occupy it until
+ *    the bus sequence completes.  DMA accesses queue behind CPU
+ *    accesses and vice versa.
+ */
+
+#ifndef FIREFLY_CACHE_CACHE_HH
+#define FIREFLY_CACHE_CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/mem_ref.hh"
+#include "cache/protocol.hh"
+#include "mbus/mbus.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace firefly
+{
+
+/** A direct-mapped coherent cache on the MBus. */
+class Cache : public MBusClient
+{
+  public:
+    /** Cache geometry. */
+    struct Geometry
+    {
+        Addr cacheBytes = 16 * 1024;  ///< total data capacity
+        Addr lineBytes = 4;           ///< line size (power of two)
+    };
+
+    /** Completion callback; receives the read data (0 for writes). */
+    using Callback = std::function<void(Word)>;
+
+    enum class AccessOutcome
+    {
+        Hit,           ///< satisfied synchronously
+        Pending,       ///< callback will fire when done
+        RetryTagBusy,  ///< tag store taken by a snoop; retry next tick
+    };
+
+    struct AccessResult
+    {
+        AccessOutcome outcome;
+        Word data = 0;
+    };
+
+    Cache(Simulator &sim, MBus &bus,
+          std::unique_ptr<CoherenceProtocol> protocol, Geometry geom,
+          std::string name);
+
+    /**
+     * Processor access.  Hits are satisfied synchronously; anything
+     * needing the bus returns Pending and fires `cb` on completion.
+     */
+    AccessResult cpuAccess(const MemRef &ref, Callback cb);
+
+    /**
+     * DMA access through this cache (I/O processor path).  Always
+     * asynchronous; misses never allocate (paper Section 5).
+     */
+    void dmaAccess(const MemRef &ref, Callback cb);
+
+    /**
+     * Write all dirty lines to memory and invalidate everything,
+     * bypassing timing.  Used by tests and end-of-run verification.
+     */
+    void flushFunctional();
+
+    // --- introspection --------------------------------------------------
+    const std::string &name() const { return _name; }
+    CoherenceProtocol &protocol() { return *proto; }
+    unsigned lineWords() const { return _lineWords; }
+    unsigned numLines() const { return lines.size(); }
+
+    /** The line the address maps to (valid or not). */
+    const CacheLine &lineAt(Addr byte_addr) const;
+    /** True if the address is present in a valid line. */
+    bool holds(Addr byte_addr) const;
+    /** Fraction of valid lines that need write-back (paper's D). */
+    double dirtyFraction() const;
+    /** Fraction of lines that are valid. */
+    double validFraction() const;
+    /** Fraction of valid lines in Shared/SharedDirty state. */
+    double sharedFraction() const;
+
+    StatGroup &stats() { return statGroup; }
+
+    // --- MBusClient -----------------------------------------------------
+    std::string busClientName() const override { return _name; }
+    SnoopReply snoopProbe(const MBusTransaction &txn) override;
+    void snoopSupplyData(const MBusTransaction &txn, Word *out) override;
+    void snoopComplete(const MBusTransaction &txn) override;
+    void transactionDone(const MBusTransaction &txn) override;
+
+    // Statistics counters, public so benches can read them directly.
+    Counter refsInstr, refsRead, refsWrite;
+    Counter readHits, readMisses, writeHits, writeMisses;
+    Counter fills;             ///< MBus reads issued (incl. MReadOwned)
+    Counter wtMshared;         ///< write-throughs that received MShared
+    Counter wtNoMshared;       ///< write-throughs that did not
+    Counter victimWrites;
+    Counter updatesSent;       ///< Dragon cache-to-cache updates
+    Counter invalidatesSent;   ///< MInvalidate ops issued
+    Counter tagBusyRetries;
+    Counter invalidationsReceived;
+    Counter updatesReceived;
+    Counter dmaReads, dmaWrites, dmaReadMisses;
+
+  private:
+    /** Stage of the in-flight access's bus sequence. */
+    enum class Stage
+    {
+        Start,
+        VictimWrite,
+        Fill,
+        ReadOwned,
+        WriteThrough,
+        Update,
+        Invalidate,
+        DmaRead,
+        DmaWrite,
+    };
+
+    struct PendingAccess
+    {
+        MemRef ref;
+        bool isDma = false;
+        Callback cb;
+        Stage stage = Stage::Start;
+        /** Firefly write-allocate-through pending install. */
+        bool installOnWriteThrough = false;
+        /** Reference already counted in the stats. */
+        bool counted = false;
+    };
+
+    Addr lineBaseOf(Addr byte_addr) const;
+    CacheLine &lineFor(Addr byte_addr);
+    const CacheLine &lineFor(Addr byte_addr) const;
+    bool tagMatch(const CacheLine &line, Addr byte_addr) const;
+
+    Word readWord(const CacheLine &line, Addr byte_addr) const;
+    void writeWord(CacheLine &line, Addr byte_addr, Word value);
+
+    /** Record a CPU reference in the stat counters. */
+    void countRef(const MemRef &ref, bool hit);
+
+    /** Try to satisfy a CPU access without the bus.  True if done. */
+    bool tryFastPath(const MemRef &ref, Word &out);
+
+    /** Begin processing the queue head (engine must be idle). */
+    void startHead();
+    /** Dispatch the head access from scratch (Stage::Start). */
+    void dispatchHead();
+    void finishHead(Word data);
+
+    void issueVictimWriteFor(Addr target_addr);
+    void issueFill(Addr byte_addr, Stage stage);
+    void issueWriteThrough(const MemRef &ref, bool updates_memory,
+                           Stage stage, MBusOpKind kind);
+    void issueInvalidate(Addr byte_addr);
+
+    /** Apply the write-hit policy to a resident line (head access). */
+    void applyWriteHit(CacheLine &line, const MemRef &ref);
+
+    Simulator &sim;
+    MBus &bus;
+    std::unique_ptr<CoherenceProtocol> proto;
+    std::string _name;
+
+    unsigned _lineWords;
+    Addr lineBytes;
+    std::vector<CacheLine> lines;
+
+    std::deque<PendingAccess> queue;
+    bool engineBusy = false;  ///< head of queue has a bus op in flight
+
+    Cycle tagBusyCycle = ~Cycle{0};
+
+    StatGroup statGroup;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_CACHE_HH

@@ -1,0 +1,108 @@
+#include "cache/dragon_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+WriteHitAction
+DragonProtocol::writeHit(const CacheLine &line) const
+{
+    switch (line.state) {
+      case LineState::Valid:
+      case LineState::Dirty:
+        return WriteHitAction::Silent;  // E -> M, M -> M
+      case LineState::Shared:
+      case LineState::SharedDirty:
+        // Bus update: other caches merge the word; memory does not.
+        return WriteHitAction::Update;
+      default:
+        panic("Dragon write hit in state %s", toString(line.state));
+    }
+}
+
+WriteMissAction
+DragonProtocol::writeMiss(unsigned) const
+{
+    // Dragon always fills on a write miss, then performs the
+    // write-hit action (which broadcasts an update if shared).
+    return WriteMissAction::FillThenWriteHit;
+}
+
+LineState
+DragonProtocol::fillState(bool mshared) const
+{
+    return mshared ? LineState::Shared : LineState::Valid;  // Sc / E
+}
+
+LineState
+DragonProtocol::afterWriteThrough(bool mshared) const
+{
+    // After a bus update: if anyone still shares, we own the line as
+    // Sm (memory is stale); if not, we hold it modified-exclusive.
+    return mshared ? LineState::SharedDirty : LineState::Dirty;
+}
+
+SnoopReply
+DragonProtocol::snoopProbe(const CacheLine &line,
+                           const MBusTransaction &txn) const
+{
+    SnoopReply reply;
+    reply.shared = true;
+
+    switch (txn.type) {
+      case MBusOpType::MRead:
+        // The owner (M or Sm) supplies; memory may be stale.  Clean
+        // holders let memory answer (their copy matches it only if
+        // no owner exists; when an owner exists the owner responds).
+        reply.supply = needsWriteback(line.state);
+        break;
+      case MBusOpType::MWrite:
+        break;
+      default:
+        panic("Dragon cache snooped %s", toString(txn.type));
+    }
+    return reply;
+}
+
+void
+DragonProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
+                           unsigned line_words) const
+{
+    switch (txn.type) {
+      case MBusOpType::MRead:
+        // Another cache took a copy.  M -> Sm (we still own it and
+        // memory is stale); E -> Sc; Sc/Sm unchanged.
+        if (line.state == LineState::Dirty)
+            line.state = LineState::SharedDirty;
+        else if (line.state == LineState::Valid)
+            line.state = LineState::Shared;
+        break;
+
+      case MBusOpType::MWrite: {
+        for (unsigned i = 0; i < txn.words; ++i) {
+            const Addr a = txn.addr + i * bytesPerWord;
+            if (a >= line.base &&
+                a < line.base + line_words * bytesPerWord) {
+                line.data[(a - line.base) / bytesPerWord] = txn.data[i];
+            }
+        }
+        if (txn.kind == MBusOpKind::Update) {
+            // The writer is the new owner (Sm); we demote to Sc.
+            line.state = LineState::Shared;
+        } else if (txn.updatesMemory) {
+            // DMA write or foreign victim write: memory now holds the
+            // written word.  If we owned the line we keep ownership
+            // of the rest; otherwise our clean copy stays clean.
+            if (!needsWriteback(line.state))
+                line.state = LineState::Shared;
+        }
+        break;
+      }
+
+      default:
+        panic("Dragon cache snooped %s", toString(txn.type));
+    }
+}
+
+} // namespace firefly

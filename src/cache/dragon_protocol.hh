@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Xerox Dragon protocol (the paper's closest relative).
+ *
+ * Like Firefly, Dragon is update-based and uses dynamic sharing
+ * detection; unlike Firefly, a write to a shared line updates only
+ * the other *caches*, not main memory.  One cache - the last writer -
+ * owns the line in state Sm (SharedDirty here) and is responsible
+ * for writing it back; memory may be stale while a line is shared.
+ * States: E (Valid), Sc (Shared), Sm (SharedDirty), M (Dirty).
+ */
+
+#ifndef FIREFLY_CACHE_DRAGON_PROTOCOL_HH
+#define FIREFLY_CACHE_DRAGON_PROTOCOL_HH
+
+#include "cache/protocol.hh"
+
+namespace firefly
+{
+
+/** Update protocol with a dirty-sharing owner. */
+class DragonProtocol : public CoherenceProtocol
+{
+  public:
+    const char *name() const override { return "Dragon"; }
+
+    WriteHitAction writeHit(const CacheLine &line) const override;
+    WriteMissAction writeMiss(unsigned line_words) const override;
+    LineState fillState(bool mshared) const override;
+    LineState afterWriteThrough(bool mshared) const override;
+    bool fillsUpdateMemory() const override { return false; }
+
+    SnoopReply snoopProbe(const CacheLine &line,
+                          const MBusTransaction &txn) const override;
+    void snoopApply(CacheLine &line, const MBusTransaction &txn,
+                    unsigned line_words) const override;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_DRAGON_PROTOCOL_HH

@@ -1,0 +1,113 @@
+#include "cache/firefly_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+WriteHitAction
+FireflyProtocol::writeHit(const CacheLine &line) const
+{
+    switch (line.state) {
+      case LineState::Valid:
+      case LineState::Dirty:
+        // Non-shared: pure write-back, no bus traffic.
+        return WriteHitAction::Silent;
+      case LineState::Shared:
+        // Shared: conditional write-through updates the other caches
+        // and main memory in one bus write.
+        return WriteHitAction::WriteThrough;
+      default:
+        panic("Firefly write hit in state %s", toString(line.state));
+    }
+}
+
+WriteMissAction
+FireflyProtocol::writeMiss(unsigned line_words) const
+{
+    // The longword optimisation applies when the write covers the
+    // whole line (the real machine's lines were one longword).  With
+    // larger experimental lines the cache must fill first.
+    return line_words == 1 ? WriteMissAction::WriteThroughAllocate
+                           : WriteMissAction::FillThenWriteHit;
+}
+
+LineState
+FireflyProtocol::fillState(bool mshared) const
+{
+    return mshared ? LineState::Shared : LineState::Valid;
+}
+
+LineState
+FireflyProtocol::afterWriteThrough(bool mshared) const
+{
+    // A write-through that receives no MShared means we are the last
+    // holder: clear the Shared tag and revert to write-back.  Either
+    // way the line is clean (memory was just updated).
+    return mshared ? LineState::Shared : LineState::Valid;
+}
+
+SnoopReply
+FireflyProtocol::snoopProbe(const CacheLine &line,
+                            const MBusTransaction &txn) const
+{
+    (void)line;  // every valid holder responds, regardless of state
+    SnoopReply reply;
+    reply.shared = true;  // we hold the line: assert MShared
+
+    switch (txn.type) {
+      case MBusOpType::MRead:
+        // Every holder drives the data; the protocol guarantees all
+        // copies are identical (shared copies are clean, and a dirty
+        // copy is exclusive).  Memory is inhibited.
+        reply.supply = true;
+        break;
+      case MBusOpType::MWrite:
+        // Write-through (or DMA/victim write): we will merge the data
+        // in snoopApply; nothing to supply.
+        break;
+      default:
+        panic("Firefly cache snooped %s", toString(txn.type));
+    }
+    return reply;
+}
+
+void
+FireflyProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
+                            unsigned line_words) const
+{
+    switch (txn.type) {
+      case MBusOpType::MRead:
+        // Someone else now holds a copy.  A dirty owner's data was
+        // just captured by memory during the supply, so the line is
+        // clean again; everyone drops to Shared.
+        line.state = LineState::Shared;
+        break;
+
+      case MBusOpType::MWrite: {
+        // Update our copy in place with the written word(s).
+        for (unsigned i = 0; i < txn.words; ++i) {
+            const Addr a = txn.addr + i * bytesPerWord;
+            if (a >= line.base &&
+                a < line.base + line_words * bytesPerWord) {
+                line.data[(a - line.base) / bytesPerWord] = txn.data[i];
+            }
+        }
+        // The writer updated memory too, so our copy is clean -
+        // unless this was a partial write into a line we hold dirty
+        // (only possible via DMA), in which case the unwritten words
+        // are still our responsibility.
+        if (line.state == LineState::Dirty && txn.words < line_words) {
+            // keep Dirty: we still owe memory the other words
+        } else {
+            line.state = LineState::Shared;
+        }
+        break;
+      }
+
+      default:
+        panic("Firefly cache snooped %s", toString(txn.type));
+    }
+}
+
+} // namespace firefly

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Firefly coherence protocol (the paper's primary contribution).
+ *
+ * Each line carries Dirty and Shared tag bits (paper Figure 3, giving
+ * states Invalid / Valid / Dirty / Shared here).  The key idea is
+ * *conditional write-through*: writes to non-shared lines use
+ * write-back (no bus traffic until victimisation); writes to shared
+ * lines are written through, simultaneously updating main memory and
+ * every other cache holding the line.  Sharing is detected
+ * dynamically: every bus operation returns the wired-OR MShared
+ * signal, and the initiator sets its Shared tag from it - including
+ * on write-throughs, so when a datum stops being shared the last
+ * write-through clears the Shared tag and the cache reverts to
+ * write-back ("last-sharer reversion").
+ *
+ * Distinctive properties, all exercised by the tests:
+ *  - no prearranged ownership: any processor may write a shared
+ *    location at any time;
+ *  - shared lines are always clean, so multiple caches may drive
+ *    identical read data simultaneously;
+ *  - a dirty line is always exclusive; when another cache reads it,
+ *    the owner supplies the data, memory captures it, and the owner's
+ *    state drops to Shared;
+ *  - longword write misses skip the fill read: the cache simply
+ *    writes through and installs the line clean (4-byte lines make
+ *    the write cover the whole line).
+ */
+
+#ifndef FIREFLY_CACHE_FIREFLY_PROTOCOL_HH
+#define FIREFLY_CACHE_FIREFLY_PROTOCOL_HH
+
+#include "cache/protocol.hh"
+
+namespace firefly
+{
+
+/** Conditional write-through update protocol (paper Section 5.1). */
+class FireflyProtocol : public CoherenceProtocol
+{
+  public:
+    const char *name() const override { return "Firefly"; }
+
+    WriteHitAction writeHit(const CacheLine &line) const override;
+    WriteMissAction writeMiss(unsigned line_words) const override;
+    LineState fillState(bool mshared) const override;
+    LineState afterWriteThrough(bool mshared) const override;
+    bool fillsUpdateMemory() const override { return true; }
+
+    SnoopReply snoopProbe(const CacheLine &line,
+                          const MBusTransaction &txn) const override;
+    void snoopApply(CacheLine &line, const MBusTransaction &txn,
+                    unsigned line_words) const override;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_FIREFLY_PROTOCOL_HH

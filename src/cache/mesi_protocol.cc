@@ -1,0 +1,84 @@
+#include "cache/mesi_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+WriteHitAction
+MesiProtocol::writeHit(const CacheLine &line) const
+{
+    switch (line.state) {
+      case LineState::Valid:   // E -> M silently
+      case LineState::Dirty:   // M -> M
+        return WriteHitAction::Silent;
+      case LineState::Shared:  // S: invalidate other copies first
+        return WriteHitAction::Invalidate;
+      default:
+        panic("MESI write hit in state %s", toString(line.state));
+    }
+}
+
+WriteMissAction
+MesiProtocol::writeMiss(unsigned) const
+{
+    return WriteMissAction::ReadOwned;  // BusRdX
+}
+
+LineState
+MesiProtocol::fillState(bool mshared) const
+{
+    return mshared ? LineState::Shared : LineState::Valid;  // S / E
+}
+
+LineState
+MesiProtocol::afterWriteThrough(bool) const
+{
+    // Only reachable through DMA writes routed via this cache; the
+    // write updated memory, leaving the copy clean.
+    return LineState::Shared;
+}
+
+SnoopReply
+MesiProtocol::snoopProbe(const CacheLine &line,
+                         const MBusTransaction &txn) const
+{
+    SnoopReply reply;
+    reply.shared = true;
+
+    switch (txn.type) {
+      case MBusOpType::MRead:
+      case MBusOpType::MReadOwned:
+        // A modified owner supplies; memory captures the data
+        // (Illinois write-back-on-supply), so S copies stay clean.
+        reply.supply = line.state == LineState::Dirty;
+        break;
+      case MBusOpType::MWrite:
+      case MBusOpType::MInvalidate:
+        break;
+    }
+    return reply;
+}
+
+void
+MesiProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
+                         unsigned) const
+{
+    switch (txn.type) {
+      case MBusOpType::MRead:
+        line.state = LineState::Shared;  // M/E/S -> S
+        break;
+      case MBusOpType::MReadOwned:
+      case MBusOpType::MInvalidate:
+        line.state = LineState::Invalid;
+        break;
+      case MBusOpType::MWrite:
+        // DMA write or foreign victim write: invalidate, as MESI has
+        // no update path.
+        if (txn.updatesMemory)
+            line.state = LineState::Invalid;
+        break;
+    }
+}
+
+} // namespace firefly

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MESI (Illinois-style) invalidation protocol.
+ *
+ * The textbook write-back invalidation protocol, included so the
+ * protocol-comparison experiments cover the design space the paper
+ * discusses (Archibald & Baer's survey).  On a snooped read a
+ * modified owner supplies the data and memory captures it
+ * (Illinois-style write-back on supply), so shared copies are always
+ * clean.  Writes to shared lines invalidate other copies (BusUpgr,
+ * modelled as MInvalidate); write misses fetch with intent to modify
+ * (BusRdX, modelled as MReadOwned).
+ */
+
+#ifndef FIREFLY_CACHE_MESI_PROTOCOL_HH
+#define FIREFLY_CACHE_MESI_PROTOCOL_HH
+
+#include "cache/protocol.hh"
+
+namespace firefly
+{
+
+/** MESI/Illinois invalidation protocol. */
+class MesiProtocol : public CoherenceProtocol
+{
+  public:
+    const char *name() const override { return "MESI"; }
+
+    WriteHitAction writeHit(const CacheLine &line) const override;
+    WriteMissAction writeMiss(unsigned line_words) const override;
+    LineState fillState(bool mshared) const override;
+    LineState afterWriteThrough(bool mshared) const override;
+    bool fillsUpdateMemory() const override { return true; }
+
+    SnoopReply snoopProbe(const CacheLine &line,
+                          const MBusTransaction &txn) const override;
+    void snoopApply(CacheLine &line, const MBusTransaction &txn,
+                    unsigned line_words) const override;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_MESI_PROTOCOL_HH

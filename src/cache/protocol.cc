@@ -1,0 +1,57 @@
+#include "cache/protocol.hh"
+
+#include "cache/berkeley_protocol.hh"
+#include "cache/dragon_protocol.hh"
+#include "cache/firefly_protocol.hh"
+#include "cache/mesi_protocol.hh"
+#include "cache/wti_protocol.hh"
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+const char *
+toString(LineState state)
+{
+    switch (state) {
+      case LineState::Invalid: return "Invalid";
+      case LineState::Valid: return "Valid";
+      case LineState::Dirty: return "Dirty";
+      case LineState::Shared: return "Shared";
+      case LineState::SharedDirty: return "SharedDirty";
+    }
+    return "?";
+}
+
+const char *
+toString(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Firefly: return "Firefly";
+      case ProtocolKind::Dragon: return "Dragon";
+      case ProtocolKind::WriteThroughInvalidate: return "WTI";
+      case ProtocolKind::Berkeley: return "Berkeley";
+      case ProtocolKind::Mesi: return "MESI";
+    }
+    return "?";
+}
+
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Firefly:
+        return std::make_unique<FireflyProtocol>();
+      case ProtocolKind::Dragon:
+        return std::make_unique<DragonProtocol>();
+      case ProtocolKind::WriteThroughInvalidate:
+        return std::make_unique<WtiProtocol>();
+      case ProtocolKind::Berkeley:
+        return std::make_unique<BerkeleyProtocol>();
+      case ProtocolKind::Mesi:
+        return std::make_unique<MesiProtocol>();
+    }
+    panic("unknown protocol kind");
+}
+
+} // namespace firefly

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Coherence protocol abstraction.
+ *
+ * The cache engine (cache.hh) owns the mechanics - lookup, victim
+ * write-back, bus sequencing, data movement - and consults a
+ * CoherenceProtocol for every policy decision.  Five protocols are
+ * provided:
+ *
+ *   - Firefly (the paper's contribution): update-based, conditional
+ *     write-through, dynamic sharing detection via MShared;
+ *   - Dragon (Xerox; the paper cites it as the closest relative):
+ *     update-based with a dirty-sharing owner, memory not updated;
+ *   - write-through with invalidation (the paper's strawman);
+ *   - Berkeley Ownership (cited baseline): invalidation + ownership;
+ *   - MESI/Illinois: the textbook invalidation protocol.
+ *
+ * The five LineState values are shared across protocols with
+ * per-protocol meaning (documented on each enumerator).
+ */
+
+#ifndef FIREFLY_CACHE_PROTOCOL_HH
+#define FIREFLY_CACHE_PROTOCOL_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "mbus/mbus.hh"
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+/** Coherence state of one cache line. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    /** Clean, believed exclusive.  Firefly "Valid"; MESI E; Dragon E;
+     *  WTI valid.  Unused by Berkeley. */
+    Valid,
+    /** Modified, exclusive.  Firefly/Berkeley "Dirty"; MESI M;
+     *  Dragon M. */
+    Dirty,
+    /** Clean (w.r.t. the current owner), possibly in other caches.
+     *  Firefly "Shared"; MESI S; Dragon Sc; Berkeley unowned-shared. */
+    Shared,
+    /** Modified and possibly shared; this cache owns the line.
+     *  Berkeley owned-shared; Dragon Sm.  Unused by the others. */
+    SharedDirty,
+};
+
+const char *toString(LineState state);
+
+/** True if victimising a line in this state requires a write-back. */
+constexpr bool
+needsWriteback(LineState state)
+{
+    return state == LineState::Dirty || state == LineState::SharedDirty;
+}
+
+/** One direct-mapped cache line. */
+struct CacheLine
+{
+    LineState state = LineState::Invalid;
+    Addr base = 0;  ///< byte address of the first word of the line
+    std::array<Word, maxBurstWords> data{};
+
+    bool valid() const { return state != LineState::Invalid; }
+};
+
+/** What to do on a processor write that hits. */
+enum class WriteHitAction : std::uint8_t
+{
+    Silent,        ///< write into the line, mark Dirty, no bus op
+    WriteThrough,  ///< MWrite updating memory and sharing caches
+    Update,        ///< MWrite updating caches only (Dragon)
+    Invalidate,    ///< MInvalidate, then write locally as Dirty
+};
+
+/** What to do on a processor write that misses. */
+enum class WriteMissAction : std::uint8_t
+{
+    /** Firefly longword optimisation: write through and install the
+     *  line clean, skipping the fill read (only if the write covers
+     *  the whole line, i.e. 4-byte lines). */
+    WriteThroughAllocate,
+    /** Write through without allocating (write-through-invalidate). */
+    WriteThroughNoAllocate,
+    /** Fill first, then apply the write-hit policy. */
+    FillThenWriteHit,
+    /** Read with intent to modify (MReadOwned), install Dirty. */
+    ReadOwned,
+};
+
+/** Identifiers for the factory. */
+enum class ProtocolKind : std::uint8_t
+{
+    Firefly,
+    Dragon,
+    WriteThroughInvalidate,
+    Berkeley,
+    Mesi,
+};
+
+const char *toString(ProtocolKind kind);
+
+/** Policy object consulted by the cache engine. */
+class CoherenceProtocol
+{
+  public:
+    virtual ~CoherenceProtocol() = default;
+
+    virtual const char *name() const = 0;
+
+    // --- processor-side policy -----------------------------------------
+    virtual WriteHitAction writeHit(const CacheLine &line) const = 0;
+    virtual WriteMissAction writeMiss(unsigned line_words) const = 0;
+
+    /** State a line is installed in after an MRead fill. */
+    virtual LineState fillState(bool mshared) const = 0;
+
+    /** State after a write-through/update completes, given MShared. */
+    virtual LineState afterWriteThrough(bool mshared) const = 0;
+
+    /** State after MReadOwned or MInvalidate completes. */
+    virtual LineState ownedState() const { return LineState::Dirty; }
+
+    /**
+     * Should main memory capture cache-supplied fill data?  True for
+     * protocols whose shared copies are always clean (Firefly, MESI/
+     * Illinois, WTI); false where an owner retains responsibility
+     * (Berkeley, Dragon).
+     */
+    virtual bool fillsUpdateMemory() const = 0;
+
+    // --- snoop-side policy ---------------------------------------------
+    /**
+     * Tag probe for another agent's transaction; `line` is tag
+     * matched and valid.  Must not mutate state.
+     */
+    virtual SnoopReply snoopProbe(const CacheLine &line,
+                                  const MBusTransaction &txn) const = 0;
+
+    /**
+     * Apply the committed transaction to our matching line: merge
+     * update data, change state, or invalidate.  `line_words` is the
+     * cache's line size in longwords.
+     */
+    virtual void snoopApply(CacheLine &line, const MBusTransaction &txn,
+                            unsigned line_words) const = 0;
+};
+
+/** Instantiate a protocol by kind. */
+std::unique_ptr<CoherenceProtocol> makeProtocol(ProtocolKind kind);
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_PROTOCOL_HH

@@ -1,0 +1,53 @@
+#include "cache/wti_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+WriteHitAction
+WtiProtocol::writeHit(const CacheLine &line) const
+{
+    if (line.state != LineState::Valid)
+        panic("WTI write hit in state %s", toString(line.state));
+    return WriteHitAction::WriteThrough;  // every write goes to the bus
+}
+
+WriteMissAction
+WtiProtocol::writeMiss(unsigned) const
+{
+    return WriteMissAction::WriteThroughNoAllocate;
+}
+
+LineState
+WtiProtocol::fillState(bool) const
+{
+    return LineState::Valid;
+}
+
+LineState
+WtiProtocol::afterWriteThrough(bool) const
+{
+    return LineState::Valid;
+}
+
+SnoopReply
+WtiProtocol::snoopProbe(const CacheLine &, const MBusTransaction &) const
+{
+    // WTI ignores MShared, but asserting it is harmless and keeps the
+    // bus-side bookkeeping uniform.
+    SnoopReply reply;
+    reply.shared = true;
+    return reply;
+}
+
+void
+WtiProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
+                        unsigned) const
+{
+    // The defining rule: observed writes invalidate our copy.
+    if (txn.type == MBusOpType::MWrite)
+        line.state = LineState::Invalid;
+}
+
+} // namespace firefly

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Write-through with invalidation - the paper's strawman baseline.
+ *
+ * "The simplest protocol is write-through with invalidation, in
+ * which all writes are sent to the main memory bus.  Whenever a
+ * cache observes a write directed to a line it contains, it
+ * invalidates its copy.  This is not a practical protocol for more
+ * than a few processors."  Lines are only ever Invalid or Valid;
+ * memory is always current, so victims are never written back and
+ * reads are always answered by memory.
+ */
+
+#ifndef FIREFLY_CACHE_WTI_PROTOCOL_HH
+#define FIREFLY_CACHE_WTI_PROTOCOL_HH
+
+#include "cache/protocol.hh"
+
+namespace firefly
+{
+
+/** Write-through-invalidate baseline. */
+class WtiProtocol : public CoherenceProtocol
+{
+  public:
+    const char *name() const override { return "WTI"; }
+
+    WriteHitAction writeHit(const CacheLine &line) const override;
+    WriteMissAction writeMiss(unsigned line_words) const override;
+    LineState fillState(bool mshared) const override;
+    LineState afterWriteThrough(bool mshared) const override;
+    bool fillsUpdateMemory() const override { return true; }
+
+    SnoopReply snoopProbe(const CacheLine &line,
+                          const MBusTransaction &txn) const override;
+    void snoopApply(CacheLine &line, const MBusTransaction &txn,
+                    unsigned line_words) const override;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_WTI_PROTOCOL_HH

@@ -1,0 +1,87 @@
+#include "cpu/onchip_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+OnChipCache::OnChipCache(const Config &config, std::string name)
+    : cfg(config), statGroup(std::move(name))
+{
+    if (cfg.lineBytes < 4 || (cfg.lineBytes & (cfg.lineBytes - 1)) != 0)
+        fatal("bad on-chip line size %u", cfg.lineBytes);
+    if (cfg.sizeBytes % cfg.lineBytes != 0)
+        fatal("on-chip size not a multiple of line size");
+    entries.resize(cfg.sizeBytes / cfg.lineBytes);
+
+    statGroup.addCounter(&hits, "hits", "accesses served on chip");
+    statGroup.addCounter(&misses, "misses",
+                         "cacheable accesses sent to the board cache");
+    statGroup.addCounter(&staleIncidents, "stale_incidents",
+                         "bus writes that hit on-chip lines (the "
+                         "accesses a non-snooping data cache would "
+                         "serve stale)");
+}
+
+Addr
+OnChipCache::lineBaseOf(Addr addr) const
+{
+    return addr - addr % cfg.lineBytes;
+}
+
+OnChipCache::Entry &
+OnChipCache::entryFor(Addr addr)
+{
+    return entries[(addr / cfg.lineBytes) % entries.size()];
+}
+
+bool
+OnChipCache::access(const MemRef &ref)
+{
+    Entry &entry = entryFor(ref.addr);
+    const bool match = entry.valid && entry.base == lineBaseOf(ref.addr);
+
+    if (isWrite(ref.type)) {
+        // Writes go to the board cache; keep the hierarchy inclusive
+        // enough by dropping our copy.
+        if (match)
+            entry.valid = false;
+        return false;
+    }
+
+    const bool cacheable = ref.type == RefType::InstrRead ||
+        (ref.type == RefType::DataRead && cachesData());
+    if (!cacheable)
+        return false;
+
+    if (match) {
+        ++hits;
+        return true;
+    }
+    ++misses;
+    entry.valid = true;
+    entry.base = lineBaseOf(ref.addr);
+    return false;
+}
+
+void
+OnChipCache::observeBusWrite(Addr addr, unsigned words)
+{
+    for (unsigned i = 0; i < words; ++i) {
+        const Addr a = addr + i * bytesPerWord;
+        Entry &entry = entryFor(a);
+        if (entry.valid && entry.base == lineBaseOf(a)) {
+            entry.valid = false;
+            ++staleIncidents;
+        }
+    }
+}
+
+void
+OnChipCache::invalidateAll()
+{
+    for (auto &entry : entries)
+        entry.valid = false;
+}
+
+} // namespace firefly

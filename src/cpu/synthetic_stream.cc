@@ -1,0 +1,127 @@
+#include "cpu/synthetic_stream.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+SyntheticStream::SyntheticStream(const SyntheticConfig &config)
+    : cfg(config), rng(config.seed)
+{
+    if (cfg.codeBytes < 4 || cfg.privateBytes < 4 || cfg.sharedBytes < 4)
+        fatal("synthetic regions must be non-empty");
+    pc = cfg.codeBase;
+    loopStart = cfg.codeBase;
+    reuse.reserve(cfg.reuseWindow);
+}
+
+std::uint64_t
+SyntheticStream::instructionsCompleted() const
+{
+    return instructions;
+}
+
+Addr
+SyntheticStream::freshAddr(Addr base, Addr bytes)
+{
+    return base + 4 * static_cast<Addr>(rng.below(bytes / 4));
+}
+
+Addr
+SyntheticStream::pickDataAddr(bool is_write)
+{
+    // The sharing fractions apply to the whole access stream (the
+    // paper's S is "a fraction S = 0.1 of the processor's writes are
+    // to shared data"), so check them before the locality model.
+    const double shared_frac =
+        is_write ? cfg.writeSharedFrac : cfg.readSharedFrac;
+    if (rng.chance(shared_frac))
+        return freshAddr(cfg.sharedBase, cfg.sharedBytes);
+
+    // Temporal locality: usually re-touch something recent.
+    const double reuse_prob =
+        is_write ? cfg.writeReuseProb : cfg.dataReuseProb;
+    if (!reuse.empty() && rng.chance(reuse_prob))
+        return reuse[rng.below(reuse.size())];
+
+    Addr addr;
+    if (lastFresh != 0 && rng.chance(cfg.dataSequentialProb) &&
+        lastFresh + 4 < cfg.privateBase + cfg.privateBytes) {
+        addr = lastFresh + 4;  // sequential run through private data
+        lastFresh = addr;
+    } else {
+        addr = freshAddr(cfg.privateBase, cfg.privateBytes);
+        lastFresh = addr;
+    }
+
+    if (reuse.size() < cfg.reuseWindow) {
+        reuse.push_back(addr);
+    } else {
+        reuse[reuseNext] = addr;
+        reuseNext = (reuseNext + 1) % reuse.size();
+    }
+    return addr;
+}
+
+void
+SyntheticStream::startInstruction()
+{
+    ++instructions;
+    const InstrRefs refs = drawInstrRefs(cfg.mix, rng);
+
+    // Instruction fetches: sequential until a branch.
+    for (unsigned i = 0; i < refs.instrReads; ++i) {
+        stepQueue.push_back(
+            CpuStep::makeRef({pc, RefType::InstrRead, 0}));
+        pc += 4;
+        if (pc >= cfg.codeBase + cfg.codeBytes)
+            pc = cfg.codeBase;
+    }
+    if (rng.chance(cfg.branchProb)) {
+        if (rng.chance(cfg.loopBranchFrac)) {
+            // Loop back within the hot region.
+            pc = loopStart +
+                 4 * static_cast<Addr>(rng.below(cfg.loopWords));
+        } else {
+            // Far branch: move the hot loop somewhere cold.
+            loopStart = freshAddr(cfg.codeBase,
+                                  cfg.codeBytes - 4 * cfg.loopWords);
+            loopStart -= loopStart % 4;
+            pc = loopStart;
+        }
+    }
+
+    // Data references.
+    for (unsigned i = 0; i < refs.dataReads; ++i) {
+        stepQueue.push_back(
+            CpuStep::makeRef({pickDataAddr(false), RefType::DataRead, 0}));
+    }
+    for (unsigned i = 0; i < refs.dataWrites; ++i) {
+        stepQueue.push_back(CpuStep::makeRef(
+            {pickDataAddr(true), RefType::DataWrite, writeSeq++}));
+    }
+
+    // Non-memory compute time, dithered to hit the fractional mean.
+    computeDebt += cfg.computeTicksPerInstr;
+    const auto ticks = static_cast<std::uint32_t>(computeDebt);
+    computeDebt -= ticks;
+    if (ticks > 0)
+        stepQueue.push_back(CpuStep::makeCompute(ticks));
+}
+
+CpuStep
+SyntheticStream::next()
+{
+    if (stepQueue.empty()) {
+        if (cfg.instructionLimit != 0 &&
+            instructions >= cfg.instructionLimit) {
+            return CpuStep::makeHalt();
+        }
+        startInstruction();
+    }
+    const CpuStep step = stepQueue.front();
+    stepQueue.pop_front();
+    return step;
+}
+
+} // namespace firefly

@@ -1,0 +1,124 @@
+#include "cpu/trace_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+TraceCpu::TraceCpu(Simulator &sim, Cache &cache, RefSource &source,
+                   CpuTiming timing, std::string name,
+                   OnChipCache *onchip)
+    : sim(sim), cache(cache), source(source), timing(timing),
+      _name(std::move(name)), onchip(onchip), statGroup(_name)
+{
+    sim.addClocked(this, Phase::Cpu);
+
+    statGroup.addCounter(&tickCount, "ticks", "processor ticks");
+    statGroup.addCounter(&computeTickCount, "compute_ticks",
+                         "ticks of non-memory compute");
+    statGroup.addCounter(&memWaitTicks, "mem_wait_ticks",
+                         "ticks stalled waiting for the cache");
+    statGroup.addCounter(&tagRetryTicks, "tag_retry_ticks",
+                         "ticks lost to snoop tag contention");
+    statGroup.addCounter(&onchipServed, "onchip_served",
+                         "references filtered by the on-chip cache");
+    statGroup.addFormula("instructions", "instructions completed",
+        [this] { return static_cast<double>(instructions()); });
+    statGroup.addFormula("tpi", "achieved ticks per instruction",
+        [this] { return tpi(); });
+}
+
+void
+TraceCpu::tick(Cycle now)
+{
+    if (_halted)
+        return;
+    if (now % timing.cyclesPerTick != 0)
+        return;
+
+    ++tickCount;
+
+    if (waitingForMem) {
+        ++memWaitTicks;
+        return;
+    }
+    if (computeRemaining > 0) {
+        --computeRemaining;
+        ++computeTickCount;
+        return;
+    }
+    issue(now);
+}
+
+void
+TraceCpu::issue(Cycle now)
+{
+    (void)now;
+    // A step may be carried over from a tag-store retry.
+    for (int guard = 0; guard < 1000; ++guard) {
+        if (!hasPending) {
+            pending = source.next();
+            hasPending = true;
+        }
+
+        switch (pending.kind) {
+          case CpuStep::Kind::Halt:
+            _halted = true;
+            hasPending = false;
+            return;
+
+          case CpuStep::Kind::Compute:
+            if (pending.ticks == 0) {
+                hasPending = false;
+                continue;  // empty step, fetch the next one
+            }
+            // This tick is the first of the compute burst.
+            computeRemaining = pending.ticks - 1;
+            ++computeTickCount;
+            hasPending = false;
+            return;
+
+          case CpuStep::Kind::Ref: {
+            if (onchip && onchip->access(pending.ref)) {
+                // Served on chip: one-tick occupancy, no board access.
+                ++onchipServed;
+                hasPending = false;
+                return;
+            }
+            const MemRef issued = pending.ref;
+            const auto result = cache.cpuAccess(
+                issued, [this, issued](Word data) {
+                    waitingForMem = false;
+                    // Pipeline restart after the bus completion: +1
+                    // tick on the MicroVAX (the paper's one-tick miss
+                    // penalty), +2 CVAX ticks (misses add 400 ns).
+                    computeRemaining += timing.missRestartTicks;
+                    source.onRefCompleted(issued, data);
+                });
+            switch (result.outcome) {
+              case Cache::AccessOutcome::Hit: {
+                const unsigned charge = pending.hitCharge
+                    ? pending.hitCharge
+                    : timing.hitOccupancyTicks;
+                computeRemaining = charge - 1;
+                hasPending = false;
+                source.onRefCompleted(issued, result.data);
+                return;
+              }
+              case Cache::AccessOutcome::RetryTagBusy:
+                ++tagRetryTicks;
+                return;  // keep the pending step, retry next tick
+              case Cache::AccessOutcome::Pending:
+                waitingForMem = true;
+                hasPending = false;
+                return;
+            }
+            return;
+          }
+        }
+    }
+    panic("%s: runaway zero-length steps from the workload source",
+          _name.c_str());
+}
+
+} // namespace firefly

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The processor timing model.
+ *
+ * A TraceCpu executes the activity stream of a RefSource against its
+ * cache with the paper's timing:
+ *
+ *   MicroVAX 78032: 200 ns ticks (2 bus cycles); a cache hit occupies
+ *   the memory interface for one 400 ns memory cycle (2 ticks); a
+ *   clean miss adds one tick when the bus is free; a dirty miss adds
+ *   a victim write first.  With the 11.9-TPI base workload this gives
+ *   ~420 K instructions/s and ~36 % interface occupancy, matching
+ *   Section 5's description.
+ *
+ *   CVAX 78034: 100 ns ticks; hits complete in 200 ns; misses add
+ *   four CVAX cycles plus bus waiting.  An optional on-chip cache
+ *   filters instruction (and, for the ablation, data) reads at
+ *   one-tick occupancy.
+ *
+ * Tag-store contention (a snoop probe in the same cycle) costs one
+ * retry tick - the analytic model's SP term.
+ */
+
+#ifndef FIREFLY_CPU_TRACE_CPU_HH
+#define FIREFLY_CPU_TRACE_CPU_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "cpu/onchip_cache.hh"
+#include "cpu/ref_source.hh"
+#include "cpu/vax_mix.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace firefly
+{
+
+/** Processor timing parameters. */
+struct CpuTiming
+{
+    unsigned cyclesPerTick = microVaxCyclesPerTick;
+    unsigned hitOccupancyTicks = hitTicks;
+    /** Ticks to restart the pipeline after a miss completes.  One
+     *  200 ns tick on the MicroVAX (miss adds +1 tick over a hit);
+     *  two 100 ns ticks on the CVAX (miss adds +4 CVAX cycles). */
+    unsigned missRestartTicks = 1;
+
+    static CpuTiming
+    microVax()
+    {
+        return {microVaxCyclesPerTick, hitTicks, 1};
+    }
+
+    static CpuTiming
+    cvax()
+    {
+        return {cvaxCyclesPerTick, hitTicks, 2};
+    }
+};
+
+/** One processor: consumes a RefSource, drives a Cache. */
+class TraceCpu : public Clocked
+{
+  public:
+    TraceCpu(Simulator &sim, Cache &cache, RefSource &source,
+             CpuTiming timing, std::string name,
+             OnChipCache *onchip = nullptr);
+
+    void tick(Cycle now) override;
+
+    bool halted() const { return _halted; }
+    const std::string &name() const { return _name; }
+
+    /** Instructions completed (delegated to the source). */
+    std::uint64_t
+    instructions() const
+    {
+        return source.instructionsCompleted();
+    }
+
+    /** Processor ticks elapsed (including wait ticks). */
+    std::uint64_t ticksElapsed() const { return tickCount.value(); }
+
+    /** Achieved ticks per instruction so far. */
+    double
+    tpi() const
+    {
+        const auto instrs = instructions();
+        return instrs ? static_cast<double>(ticksElapsed()) / instrs
+                      : 0.0;
+    }
+
+    StatGroup &stats() { return statGroup; }
+
+    Counter tickCount;       ///< processor ticks elapsed
+    Counter computeTickCount;///< ticks spent in non-memory compute
+    Counter memWaitTicks;    ///< ticks stalled on cache misses
+    Counter tagRetryTicks;   ///< ticks lost to tag-store contention
+    Counter onchipServed;    ///< references filtered by on-chip cache
+
+  private:
+    void issue(Cycle now);
+
+    Simulator &sim;
+    Cache &cache;
+    RefSource &source;
+    CpuTiming timing;
+    std::string _name;
+    OnChipCache *onchip;
+
+    bool _halted = false;
+    bool waitingForMem = false;
+    bool hasPending = false;
+    CpuStep pending{};
+    std::uint64_t computeRemaining = 0;
+
+    StatGroup statGroup;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CPU_TRACE_CPU_HH

@@ -1,0 +1,31 @@
+#include "cpu/vax_mix.hh"
+
+namespace firefly
+{
+
+namespace
+{
+
+unsigned
+drawCount(double mean, Rng &rng)
+{
+    unsigned count = static_cast<unsigned>(mean);
+    const double frac = mean - count;
+    if (rng.chance(frac))
+        ++count;
+    return count;
+}
+
+} // namespace
+
+InstrRefs
+drawInstrRefs(const VaxMix &mix, Rng &rng)
+{
+    InstrRefs refs;
+    refs.instrReads = drawCount(mix.instrReads, rng);
+    refs.dataReads = drawCount(mix.dataReads, rng);
+    refs.dataWrites = drawCount(mix.dataWrites, rng);
+    return refs;
+}
+
+} // namespace firefly

@@ -1,0 +1,80 @@
+#include "firefly/config.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+const char *
+toString(MachineVersion version)
+{
+    switch (version) {
+      case MachineVersion::MicroVax: return "MicroVAX";
+      case MachineVersion::Cvax: return "CVAX";
+    }
+    return "?";
+}
+
+Addr
+FireflyConfig::moduleBytes() const
+{
+    return version == MachineVersion::MicroVax ? 4u * 1024 * 1024
+                                               : 32u * 1024 * 1024;
+}
+
+Cache::Geometry
+FireflyConfig::effectiveGeometry() const
+{
+    if (cacheGeometry.cacheBytes != 0)
+        return cacheGeometry;
+    if (version == MachineVersion::MicroVax)
+        return {16 * 1024, 4};   // 4096 four-byte lines
+    return {64 * 1024, 4};       // 16384 four-byte lines
+}
+
+void
+FireflyConfig::validate() const
+{
+    if (processors < 1 || processors > 16)
+        fatal("Firefly needs 1-16 processors, got %u", processors);
+    if (processors > 7) {
+        warn("%u processors exceeds anything SRC built (the bus "
+             "saturates near nine)", processors);
+    }
+
+    const Addr max_memory = version == MachineVersion::MicroVax
+        ? 16u * 1024 * 1024    // 24-bit physical address
+        : 128u * 1024 * 1024;  // four 32 MB modules
+    if (memoryBytes == 0 || memoryBytes > max_memory) {
+        fatal("%s Firefly supports at most %u MB of memory",
+              toString(version), max_memory / (1024 * 1024));
+    }
+
+    if (version == MachineVersion::MicroVax && onChipCacheEnabled) {
+        fatal("the MicroVAX 78032 has no on-chip cache");
+    }
+}
+
+FireflyConfig
+FireflyConfig::microVax(unsigned processors)
+{
+    FireflyConfig cfg;
+    cfg.version = MachineVersion::MicroVax;
+    cfg.processors = processors;
+    cfg.memoryBytes = 16 * 1024 * 1024;
+    cfg.onChipCacheEnabled = false;
+    return cfg;
+}
+
+FireflyConfig
+FireflyConfig::cvax(unsigned processors)
+{
+    FireflyConfig cfg;
+    cfg.version = MachineVersion::Cvax;
+    cfg.processors = processors;
+    cfg.memoryBytes = 32 * 1024 * 1024;
+    cfg.onChipCacheEnabled = true;
+    return cfg;
+}
+
+} // namespace firefly

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The disk controller (DEC RQDX3 model).
+ *
+ * "A buffered controller for rigid and floppy disks (RQDX3)" - a DMA
+ * device on the QBus.  The model keeps real sector contents in its
+ * own backing store, serves requests one at a time, and charges
+ * seek + rotational + transfer time.  Rotational position is derived
+ * deterministically from simulated time, so latencies are realistic
+ * and reproducible.
+ */
+
+#ifndef FIREFLY_IO_DISK_HH
+#define FIREFLY_IO_DISK_HH
+
+#include <deque>
+#include <functional>
+
+#include "io/qbus.hh"
+#include "mem/sparse_memory.hh"
+
+namespace firefly
+{
+
+/** An RQDX3-like disk controller with one attached drive. */
+class DiskController
+{
+  public:
+    struct Geometry
+    {
+        unsigned cylinders = 1024;
+        unsigned heads = 8;
+        unsigned sectorsPerTrack = 17;
+        unsigned bytesPerSector = 512;
+
+        unsigned
+        totalSectors() const
+        {
+            return cylinders * heads * sectorsPerTrack;
+        }
+    };
+
+    struct Config
+    {
+        Geometry geometry{};
+        double rpm = 3600.0;
+        double seekBaseMs = 4.0;     ///< head settle
+        double seekPerCylinderMs = 0.03;
+        double transferKBps = 625.0; ///< media rate
+    };
+
+    using Callback = std::function<void()>;
+
+    DiskController(Simulator &sim, QBus &qbus, std::string name);
+    DiskController(Simulator &sim, QBus &qbus, std::string name,
+                   Config config);
+
+    /** Queue a read of `sectors` sectors at `lba` into memory. */
+    void read(unsigned lba, unsigned sectors, Addr qbus_buffer,
+              Callback done);
+
+    /** Queue a write of `sectors` sectors at `lba` from memory. */
+    void write(unsigned lba, unsigned sectors, Addr qbus_buffer,
+               Callback done);
+
+    // --- functional access for tests / seeding filesystem images ----
+    Word peekWord(unsigned lba, unsigned word_in_sector) const;
+    void pokeWord(unsigned lba, unsigned word_in_sector, Word value);
+
+    const Config &config() const { return cfg; }
+    StatGroup &stats() { return statGroup; }
+
+    Counter reads, writes, sectorsMoved;
+    Accumulator seekCylinders;
+    Accumulator serviceCycles;
+
+  private:
+    struct Request
+    {
+        bool isWrite;
+        unsigned lba;
+        unsigned sectors;
+        Addr buffer;
+        Callback done;
+        Cycle queued;
+    };
+
+    unsigned cylinderOf(unsigned lba) const;
+    double rotationFractionAt(Cycle when) const;
+    Cycle mechanicalDelay(const Request &req) const;
+    void pump();
+    void transfer(Request req);
+
+    Simulator &sim;
+    QBus &qbus;
+    Config cfg;
+    SparseMemory media;
+    unsigned currentCylinder = 0;
+    bool busy = false;
+    std::deque<Request> queue;
+
+    StatGroup statGroup;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_IO_DISK_HH

@@ -1,0 +1,127 @@
+#include "io/dma_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+DmaEngine::DmaEngine(Simulator &sim, Cache &io_cache, Addr io_limit,
+                     Cycle cycles_per_word)
+    : sim(sim), ioCache(io_cache), ioLimit(io_limit),
+      pacing(cycles_per_word), statGroup("dma")
+{
+    if (pacing == 0)
+        fatal("DMA pacing must be at least one cycle per word");
+    statGroup.addCounter(&wordsRead, "words_read",
+                         "longwords DMAed from memory");
+    statGroup.addCounter(&wordsWritten, "words_written",
+                         "longwords DMAed to memory");
+    statGroup.addCounter(&requestCount, "requests", "DMA requests");
+}
+
+void
+DmaEngine::checkAddress(Addr addr, unsigned count) const
+{
+    if (addr % bytesPerWord != 0)
+        fatal("DMA address 0x%x not longword aligned", addr);
+    if (addr + count * bytesPerWord > ioLimit) {
+        fatal("DMA beyond the I/O processor's reach: 0x%x + %u words "
+              "(limit 0x%x)", addr, count, ioLimit);
+    }
+}
+
+void
+DmaEngine::readWords(Addr addr, unsigned count, ReadCallback done)
+{
+    checkAddress(addr, count);
+    if (count == 0) {
+        done({});
+        return;
+    }
+    ++requestCount;
+    Request req;
+    req.isWrite = false;
+    req.addr = addr;
+    req.remaining = count;
+    req.readDone = std::move(done);
+    requests.push_back(std::move(req));
+    if (!wordInFlight)
+        pump();
+}
+
+void
+DmaEngine::writeWords(Addr addr, std::vector<Word> data,
+                      WriteCallback done)
+{
+    checkAddress(addr, data.size());
+    if (data.empty()) {
+        done();
+        return;
+    }
+    ++requestCount;
+    Request req;
+    req.isWrite = true;
+    req.addr = addr;
+    req.remaining = data.size();
+    req.data = std::move(data);
+    req.writeDone = std::move(done);
+    requests.push_back(std::move(req));
+    if (!wordInFlight)
+        pump();
+}
+
+void
+DmaEngine::pump()
+{
+    if (requests.empty()) {
+        wordInFlight = false;
+        return;
+    }
+    wordInFlight = true;
+    Request &req = requests.front();
+
+    // One word now; the next word starts `pacing` cycles after this
+    // one was issued (the QBus word cycle covers the transfer).
+    const Cycle issued = sim.now();
+    const Addr addr = req.addr;
+    if (req.isWrite) {
+        const Word value = req.data[req.data.size() - req.remaining];
+        ioCache.dmaAccess(
+            {addr, RefType::DataWrite, value}, [this, issued](Word) {
+                ++wordsWritten;
+                Request &front = requests.front();
+                front.addr += bytesPerWord;
+                if (--front.remaining == 0) {
+                    auto done = std::move(front.writeDone);
+                    requests.pop_front();
+                    if (done)
+                        done();
+                }
+                const Cycle next =
+                    std::max(issued + pacing, sim.now() + 1);
+                sim.events().schedule(next, [this] { pump(); });
+            });
+    } else {
+        ioCache.dmaAccess(
+            {addr, RefType::DataRead, 0}, [this, issued](Word value) {
+                ++wordsRead;
+                Request &front = requests.front();
+                front.data.push_back(value);
+                front.addr += bytesPerWord;
+                if (--front.remaining == 0) {
+                    auto done = std::move(front.readDone);
+                    auto data = std::move(front.data);
+                    requests.pop_front();
+                    if (done)
+                        done(std::move(data));
+                }
+                const Cycle next =
+                    std::max(issued + pacing, sim.now() + 1);
+                sim.events().schedule(next, [this] { pump(); });
+            });
+    }
+}
+
+} // namespace firefly

@@ -1,0 +1,124 @@
+#include "io/ethernet.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+EthernetController::EthernetController(Simulator &sim, QBus &qbus,
+                                       std::string name)
+    : EthernetController(sim, qbus, std::move(name), Config{})
+{
+}
+
+EthernetController::EthernetController(Simulator &sim, QBus &qbus,
+                                       std::string name, Config config)
+    : sim(sim), qbus(qbus), cfg(config), name(std::move(name)),
+      statGroup(this->name)
+{
+    if (cfg.lineMbps <= 0)
+        fatal("Ethernet line rate must be positive");
+    statGroup.addCounter(&txPackets, "tx_packets",
+                         "packets transmitted");
+    statGroup.addCounter(&txBytes, "tx_bytes", "bytes transmitted");
+    statGroup.addCounter(&rxPackets, "rx_packets", "packets received");
+    statGroup.addCounter(&rxBytes, "rx_bytes", "bytes received");
+    statGroup.addCounter(&rxDropped, "rx_dropped",
+                         "packets dropped for lack of a buffer");
+}
+
+Cycle
+EthernetController::wireCycles(unsigned bytes) const
+{
+    // bits / (Mbit/s) = microseconds; 10 cycles per microsecond.
+    const double bits = 8.0 * bytes + cfg.interFrameGapBits;
+    return static_cast<Cycle>(bits / cfg.lineMbps * 10.0) + 1;
+}
+
+void
+EthernetController::transmit(Addr qbus_addr, unsigned bytes,
+                             std::function<void()> done)
+{
+    if (bytes == 0)
+        fatal("cannot transmit an empty packet");
+    txQueue.push_back({qbus_addr, bytes, std::move(done)});
+    if (!txBusy)
+        pumpTx();
+}
+
+void
+EthernetController::pumpTx()
+{
+    if (txQueue.empty()) {
+        txBusy = false;
+        return;
+    }
+    txBusy = true;
+    const TxRequest req = txQueue.front();
+    txQueue.pop_front();
+
+    const unsigned words = (req.bytes + 3) / 4;
+    sim.events().schedule(sim.now() + cfg.setupCycles, [this, req,
+                                                        words] {
+        qbus.dmaRead(req.addr, words, [this, req](
+                                          std::vector<Word> payload) {
+            const Cycle wire = wireCycles(req.bytes);
+            sim.events().schedule(
+                sim.now() + wire,
+                [this, req, payload = std::move(payload)]() mutable {
+                    ++txPackets;
+                    txBytes += req.bytes;
+                    if (peer)
+                        peer->injectFromWire(std::move(payload),
+                                             req.bytes);
+                    if (req.done)
+                        req.done();
+                    pumpTx();
+                });
+        });
+    });
+}
+
+void
+EthernetController::addReceiveBuffer(Addr qbus_addr,
+                                     unsigned capacity_bytes)
+{
+    rxBuffers.push_back({qbus_addr, capacity_bytes});
+}
+
+void
+EthernetController::setReceiveHandler(RxHandler handler)
+{
+    rxHandler = std::move(handler);
+}
+
+void
+EthernetController::connectTo(EthernetController *other)
+{
+    peer = other;
+}
+
+void
+EthernetController::injectFromWire(std::vector<Word> payload,
+                                   unsigned bytes)
+{
+    if (rxBuffers.empty()) {
+        ++rxDropped;
+        return;
+    }
+    const RxBuffer buffer = rxBuffers.front();
+    if (bytes > buffer.capacity) {
+        ++rxDropped;
+        return;
+    }
+    rxBuffers.pop_front();
+    const Addr addr = buffer.addr;
+    qbus.dmaWrite(addr, std::move(payload), [this, addr, bytes] {
+        ++rxPackets;
+        rxBytes += bytes;
+        if (rxHandler)
+            rxHandler(addr, bytes);
+    });
+}
+
+} // namespace firefly

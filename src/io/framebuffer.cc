@@ -1,0 +1,172 @@
+#include "io/framebuffer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+const char *
+toString(RasterOp op)
+{
+    switch (op) {
+      case RasterOp::Copy: return "copy";
+      case RasterOp::Or: return "or";
+      case RasterOp::Xor: return "xor";
+      case RasterOp::AndNot: return "and-not";
+      case RasterOp::Set: return "set";
+      case RasterOp::Clear: return "clear";
+    }
+    return "?";
+}
+
+FrameBuffer::FrameBuffer()
+    : bits(static_cast<std::size_t>(heightPx) * wordsPerRow, 0)
+{
+}
+
+bool
+FrameBuffer::pixel(unsigned x, unsigned y) const
+{
+    if (x >= widthPx || y >= heightPx)
+        return false;
+    const Word word = bits[y * wordsPerRow + x / 32];
+    return (word >> (31 - x % 32)) & 1;
+}
+
+void
+FrameBuffer::setPixel(unsigned x, unsigned y, bool value)
+{
+    if (x >= widthPx || y >= heightPx)
+        return;
+    Word &word = bits[y * wordsPerRow + x / 32];
+    const Word mask = 1u << (31 - x % 32);
+    if (value)
+        word |= mask;
+    else
+        word &= ~mask;
+}
+
+bool
+FrameBuffer::combine(bool dst, bool src, RasterOp op)
+{
+    switch (op) {
+      case RasterOp::Copy: return src;
+      case RasterOp::Or: return dst || src;
+      case RasterOp::Xor: return dst != src;
+      case RasterOp::AndNot: return dst && !src;
+      case RasterOp::Set: return true;
+      case RasterOp::Clear: return false;
+    }
+    return dst;
+}
+
+void
+FrameBuffer::clip(PixelRect &rect) const
+{
+    if (rect.x >= widthPx || rect.y >= heightPx) {
+        rect.width = rect.height = 0;
+        return;
+    }
+    rect.width = std::min<unsigned>(rect.width, widthPx - rect.x);
+    rect.height = std::min<unsigned>(rect.height, heightPx - rect.y);
+}
+
+std::uint64_t
+FrameBuffer::blt(const PixelRect &src_in, unsigned dst_x,
+                 unsigned dst_y, RasterOp op)
+{
+    PixelRect src = src_in;
+    clip(src);
+    if (dst_x >= widthPx || dst_y >= heightPx)
+        return 0;
+    const unsigned width =
+        std::min<unsigned>(src.width, widthPx - dst_x);
+    const unsigned height =
+        std::min<unsigned>(src.height, heightPx - dst_y);
+
+    // Pick the scan direction so overlapping copies are correct.
+    const bool backward =
+        dst_y > src.y || (dst_y == src.y && dst_x > src.x);
+    for (unsigned row = 0; row < height; ++row) {
+        const unsigned r = backward ? height - 1 - row : row;
+        for (unsigned col = 0; col < width; ++col) {
+            const unsigned c = backward ? width - 1 - col : col;
+            const bool s = pixel(src.x + c, src.y + r);
+            const bool d = pixel(dst_x + c, dst_y + r);
+            setPixel(dst_x + c, dst_y + r, combine(d, s, op));
+        }
+    }
+    return static_cast<std::uint64_t>(width) * height;
+}
+
+std::uint64_t
+FrameBuffer::bltFrom(const Word *src_bits, unsigned src_stride_words,
+                     const PixelRect &src, unsigned dst_x,
+                     unsigned dst_y, RasterOp op)
+{
+    if (dst_x >= widthPx || dst_y >= heightPx)
+        return 0;
+    const unsigned width =
+        std::min<unsigned>(src.width, widthPx - dst_x);
+    const unsigned height =
+        std::min<unsigned>(src.height, heightPx - dst_y);
+    for (unsigned row = 0; row < height; ++row) {
+        for (unsigned col = 0; col < width; ++col) {
+            const unsigned sx = src.x + col;
+            const Word word =
+                src_bits[(src.y + row) * src_stride_words + sx / 32];
+            const bool s = (word >> (31 - sx % 32)) & 1;
+            const bool d = pixel(dst_x + col, dst_y + row);
+            setPixel(dst_x + col, dst_y + row, combine(d, s, op));
+        }
+    }
+    return static_cast<std::uint64_t>(width) * height;
+}
+
+std::uint64_t
+FrameBuffer::fill(const PixelRect &rect_in, RasterOp op)
+{
+    PixelRect rect = rect_in;
+    clip(rect);
+    for (unsigned row = 0; row < rect.height; ++row) {
+        for (unsigned col = 0; col < rect.width; ++col) {
+            const unsigned x = rect.x + col;
+            const unsigned y = rect.y + row;
+            setPixel(x, y, combine(pixel(x, y), true, op));
+        }
+    }
+    return static_cast<std::uint64_t>(rect.width) * rect.height;
+}
+
+std::uint64_t
+FrameBuffer::litPixels(const PixelRect &rect_in) const
+{
+    PixelRect rect = rect_in;
+    clip(rect);
+    std::uint64_t count = 0;
+    for (unsigned row = 0; row < rect.height; ++row) {
+        for (unsigned col = 0; col < rect.width; ++col)
+            count += pixel(rect.x + col, rect.y + row);
+    }
+    return count;
+}
+
+std::string
+FrameBuffer::ascii(const PixelRect &rect_in, unsigned step) const
+{
+    PixelRect rect = rect_in;
+    clip(rect);
+    if (step == 0)
+        step = 1;
+    std::string out;
+    for (unsigned row = 0; row < rect.height; row += step) {
+        for (unsigned col = 0; col < rect.width; col += step)
+            out += pixel(rect.x + col, rect.y + row) ? '#' : '.';
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace firefly

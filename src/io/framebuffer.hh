@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The MDC's frame buffer and BitBlt engine.
+ *
+ * One megapixel of video RAM, 1 bit per pixel: "Three-quarters of
+ * the frame buffer holds the display bitmap, while the rest is
+ * available to the display manager" - rows 0-767 are the visible
+ * 1024 x 768 screen, rows 768-1023 are off-screen storage (the font
+ * cache lives there).  BitBlt is the only drawing primitive, exactly
+ * as on the real controller ("Because they are less generally
+ * useful, the MDC provides no facilities for more complex drawing
+ * primitives such as splines or conics").
+ */
+
+#ifndef FIREFLY_IO_FRAMEBUFFER_HH
+#define FIREFLY_IO_FRAMEBUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+/** BitBlt combination rules (the Smalltalk raster ops the MDC used). */
+enum class RasterOp : std::uint8_t
+{
+    Copy,    ///< dst = src
+    Or,      ///< dst |= src (paint)
+    Xor,     ///< dst ^= src (invert under mask)
+    AndNot,  ///< dst &= ~src (erase)
+    Set,     ///< dst = 1 (ignore src)
+    Clear,   ///< dst = 0 (ignore src)
+};
+
+const char *toString(RasterOp op);
+
+/** A rectangle in pixel coordinates. */
+struct PixelRect
+{
+    unsigned x = 0;
+    unsigned y = 0;
+    unsigned width = 0;
+    unsigned height = 0;
+};
+
+/** One-bit-per-pixel bitmap with BitBlt. */
+class FrameBuffer
+{
+  public:
+    static constexpr unsigned widthPx = 1024;
+    static constexpr unsigned heightPx = 1024;
+    static constexpr unsigned visibleRows = 768;
+    static constexpr unsigned wordsPerRow = widthPx / 32;
+
+    FrameBuffer();
+
+    bool pixel(unsigned x, unsigned y) const;
+    void setPixel(unsigned x, unsigned y, bool value);
+
+    /**
+     * Blt within the frame buffer.  Source and destination may
+     * overlap (the copy direction is chosen so overlap is handled
+     * correctly, as real BitBlt did).
+     * @return pixels processed (for the timing model).
+     */
+    std::uint64_t blt(const PixelRect &src, unsigned dst_x,
+                      unsigned dst_y, RasterOp op);
+
+    /**
+     * Blt from an external bitmap (rows of 32-pixel words, row
+     * stride `src_stride_words`) into the frame buffer.
+     */
+    std::uint64_t bltFrom(const Word *src_bits,
+                          unsigned src_stride_words,
+                          const PixelRect &src, unsigned dst_x,
+                          unsigned dst_y, RasterOp op);
+
+    /** Fill a rectangle with a raster op (Set/Clear/Xor). */
+    std::uint64_t fill(const PixelRect &rect, RasterOp op);
+
+    /** Count of lit pixels in a rectangle (for tests). */
+    std::uint64_t litPixels(const PixelRect &rect) const;
+
+    /** Render a region as ASCII art ('#' = lit), downsampled. */
+    std::string ascii(const PixelRect &rect, unsigned step = 1) const;
+
+    const std::vector<Word> &raw() const { return bits; }
+
+  private:
+    static bool combine(bool dst, bool src, RasterOp op);
+    void clip(PixelRect &rect) const;
+
+    std::vector<Word> bits;  ///< row-major, MSB-first within a word
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_IO_FRAMEBUFFER_HH

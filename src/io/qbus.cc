@@ -1,0 +1,66 @@
+#include "io/qbus.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+QBus::QBus(Simulator &sim, Cache &io_cache, Addr io_limit)
+    : dma(sim, io_cache, io_limit), map(qbusMapEntries),
+      statGroup("qbus")
+{
+    statGroup.addCounter(&translations, "translations",
+                         "QBus address translations");
+    statGroup.addCounter(&mapWrites, "map_writes",
+                         "mapping register updates");
+    statGroup.addChild(&dma.stats());
+}
+
+void
+QBus::setMapping(unsigned page, Addr physical_page_base)
+{
+    if (page >= qbusMapEntries)
+        fatal("QBus mapping register %u does not exist", page);
+    if (physical_page_base % qbusPageBytes != 0)
+        fatal("QBus mapping target 0x%x not page aligned",
+              physical_page_base);
+    ++mapWrites;
+    map[page] = {true, physical_page_base};
+}
+
+void
+QBus::identityMap()
+{
+    for (unsigned page = 0; page < qbusMapEntries; ++page)
+        setMapping(page, page * qbusPageBytes);
+}
+
+Addr
+QBus::translate(Addr qbus_addr)
+{
+    if (qbus_addr >= qbusSpaceBytes)
+        fatal("address 0x%x beyond the 22-bit QBus space", qbus_addr);
+    const MapEntry &entry = map[qbus_addr / qbusPageBytes];
+    if (!entry.valid)
+        fatal("DMA through unmapped QBus page 0x%x",
+              qbus_addr / qbusPageBytes);
+    ++translations;
+    return entry.physicalPage + qbus_addr % qbusPageBytes;
+}
+
+void
+QBus::dmaRead(Addr qbus_addr, unsigned words,
+              DmaEngine::ReadCallback done)
+{
+    dma.readWords(translate(qbus_addr), words, std::move(done));
+}
+
+void
+QBus::dmaWrite(Addr qbus_addr, std::vector<Word> data,
+               DmaEngine::WriteCallback done)
+{
+    dma.writeWords(translate(qbus_addr), std::move(data),
+                   std::move(done));
+}
+
+} // namespace firefly

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The DEC QBus, as used in the Firefly.
+ *
+ * The QBus carries all I/O.  Its 22-bit address space is mapped into
+ * the Firefly's physical space by mapping registers controlled by
+ * the I/O processor (paper Section 3): 8 KB pages, MicroVAX II
+ * style.  Only the primary processor board connects to it, and DMA
+ * can only reach the first 16 MB of physical memory - the hardware
+ * asymmetry the paper spends Section 3 discussing.
+ */
+
+#ifndef FIREFLY_IO_QBUS_HH
+#define FIREFLY_IO_QBUS_HH
+
+#include <vector>
+
+#include "io/dma_engine.hh"
+
+namespace firefly
+{
+
+/** QBus address-space constants. */
+constexpr Addr qbusAddressBits = 22;
+constexpr Addr qbusSpaceBytes = 1u << qbusAddressBits;  // 4 MB
+constexpr Addr qbusPageBytes = 8 * 1024;
+constexpr unsigned qbusMapEntries = qbusSpaceBytes / qbusPageBytes;
+
+/** The QBus: mapping registers + the shared DMA engine. */
+class QBus
+{
+  public:
+    /**
+     * @param io_cache the primary processor's cache (the DMA path).
+     * @param io_limit highest reachable physical address (16 MB).
+     */
+    QBus(Simulator &sim, Cache &io_cache, Addr io_limit);
+
+    /**
+     * Program mapping register `page`: QBus page -> physical page.
+     * Only the I/O processor did this on the real machine.
+     */
+    void setMapping(unsigned page, Addr physical_page_base);
+
+    /** Identity-map the whole QBus window onto physical 0..4 MB. */
+    void identityMap();
+
+    /** Translate a QBus address; fatal on an unmapped page. */
+    Addr translate(Addr qbus_addr);
+
+    /** The paced DMA path (QBus addresses are translated first). */
+    void dmaRead(Addr qbus_addr, unsigned words,
+                 DmaEngine::ReadCallback done);
+    void dmaWrite(Addr qbus_addr, std::vector<Word> data,
+                  DmaEngine::WriteCallback done);
+
+    DmaEngine &engine() { return dma; }
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct MapEntry
+    {
+        bool valid = false;
+        Addr physicalPage = 0;
+    };
+
+    DmaEngine dma;
+    std::vector<MapEntry> map;
+    StatGroup statGroup;
+    Counter translations;
+    Counter mapWrites;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_IO_QBUS_HH

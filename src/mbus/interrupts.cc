@@ -1,0 +1,42 @@
+#include "mbus/interrupts.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+InterruptController::InterruptController(Simulator &sim)
+    : sim(sim), statGroup("interrupts")
+{
+    statGroup.addCounter(&raisedCount, "raised",
+                         "interprocessor interrupts delivered");
+}
+
+unsigned
+InterruptController::addTarget(Handler handler)
+{
+    handlers.push_back(std::move(handler));
+    return handlers.size() - 1;
+}
+
+void
+InterruptController::raise(unsigned target, unsigned source)
+{
+    if (target >= handlers.size())
+        panic("interrupt to unknown target %u", target);
+    ++raisedCount;
+    sim.events().schedule(sim.now() + 1, [this, target, source] {
+        handlers[target](source);
+    });
+}
+
+void
+InterruptController::broadcast(unsigned source)
+{
+    for (unsigned i = 0; i < handlers.size(); ++i) {
+        if (i != source)
+            raise(i, source);
+    }
+}
+
+} // namespace firefly

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Interprocessor interrupts.
+ *
+ * The MBus "also provides facilities for system initialization and
+ * interprocessor interrupts".  Topaz uses a specialised
+ * interprocessor interrupt to make any processor able to start I/O on
+ * the I/O processor (the network fast path described in the paper).
+ * Delivery takes one bus cycle and does not occupy the data path.
+ */
+
+#ifndef FIREFLY_MBUS_INTERRUPTS_HH
+#define FIREFLY_MBUS_INTERRUPTS_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace firefly
+{
+
+/** Broadcast/directed interprocessor interrupt fabric on the MBus. */
+class InterruptController
+{
+  public:
+    /** Handler receives the interrupting processor's index. */
+    using Handler = std::function<void(unsigned source)>;
+
+    explicit InterruptController(Simulator &sim);
+
+    /** Register a processor slot; returns its index. */
+    unsigned addTarget(Handler handler);
+
+    /** Raise an interrupt from `source` to `target` (next cycle). */
+    void raise(unsigned target, unsigned source);
+
+    /** Raise an interrupt to every target except the source. */
+    void broadcast(unsigned source);
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    Simulator &sim;
+    std::vector<Handler> handlers;
+    StatGroup statGroup;
+    Counter raisedCount;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_MBUS_INTERRUPTS_HH

@@ -1,0 +1,298 @@
+#include "mbus/mbus.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+const char *
+toString(MBusOpType type)
+{
+    switch (type) {
+      case MBusOpType::MRead: return "MRead";
+      case MBusOpType::MWrite: return "MWrite";
+      case MBusOpType::MReadOwned: return "MReadOwned";
+      case MBusOpType::MInvalidate: return "MInvalidate";
+    }
+    return "?";
+}
+
+const char *
+toString(MBusOpKind kind)
+{
+    switch (kind) {
+      case MBusOpKind::Fill: return "fill";
+      case MBusOpKind::VictimWrite: return "victim";
+      case MBusOpKind::WriteThrough: return "write-through";
+      case MBusOpKind::Update: return "update";
+      case MBusOpKind::Invalidate: return "invalidate";
+      case MBusOpKind::DmaRead: return "dma-read";
+      case MBusOpKind::DmaWrite: return "dma-write";
+    }
+    return "?";
+}
+
+void
+MBusClient::snoopSupplyData(const MBusTransaction &, Word *)
+{
+    panic("snoopSupplyData called on a client that never supplies");
+}
+
+void
+MBusClient::snoopComplete(const MBusTransaction &)
+{
+}
+
+void
+MBusClient::transactionDone(const MBusTransaction &)
+{
+}
+
+MBus::MBus(Simulator &sim, MainMemory &memory, std::string name)
+    : sim(sim), memory(memory), statGroup(std::move(name)),
+      arbWaitHist(16, 2.0)
+{
+    sim.addClocked(this, Phase::Bus);
+
+    statGroup.addCounter(&totalCycleCount, "cycles",
+                         "bus cycles simulated");
+    statGroup.addCounter(&busyCycleCount, "busy_cycles",
+                         "bus cycles with a transaction in progress");
+    statGroup.addFormula("load", "fraction of non-idle bus cycles",
+                         [this] { return load(); });
+    static const char *op_names[4] = {
+        "reads", "writes", "reads_owned", "invalidates"
+    };
+    static const char *op_descs[4] = {
+        "MRead transactions", "MWrite transactions",
+        "MReadOwned transactions (baseline protocols)",
+        "MInvalidate transactions (baseline protocols)"
+    };
+    for (int i = 0; i < 4; ++i)
+        statGroup.addCounter(&opCount[i], op_names[i], op_descs[i]);
+    static const char *kind_names[7] = {
+        "fills", "victim_writes", "write_throughs", "updates",
+        "ownership_ops", "dma_reads", "dma_writes"
+    };
+    for (int i = 0; i < 7; ++i) {
+        statGroup.addCounter(&kindCount[i], kind_names[i],
+                             "transactions by initiator purpose");
+    }
+    statGroup.addCounter(&msharedCount, "mshared_asserted",
+                         "transactions that observed MShared");
+    statGroup.addCounter(&cacheSupplyCount, "cache_supplied",
+                         "reads whose data came from another cache");
+    statGroup.addHistogram(&arbWaitHist, "arb_wait",
+                           "cycles from request to bus grant");
+}
+
+unsigned
+MBus::attach(MBusClient *client)
+{
+    clients.push_back(client);
+    pending.emplace_back();
+    return clients.size() - 1;
+}
+
+void
+MBus::request(const MBusTransaction &txn)
+{
+    if (txn.initiator == nullptr)
+        panic("MBus request without initiator");
+    if (txn.addr % bytesPerWord != 0)
+        panic("MBus address 0x%x not longword aligned", txn.addr);
+    if (txn.words == 0 || txn.words > maxBurstWords)
+        panic("MBus burst of %u words unsupported", txn.words);
+
+    for (unsigned i = 0; i < clients.size(); ++i) {
+        if (clients[i] == txn.initiator) {
+            if (pending[i].has_value() ||
+                (active && active->initiator == txn.initiator)) {
+                panic("client %s has a transaction outstanding",
+                      txn.initiator->busClientName().c_str());
+            }
+            pending[i] = PendingRequest{txn, sim.now()};
+            return;
+        }
+    }
+    panic("MBus request from unattached client %s",
+          txn.initiator->busClientName().c_str());
+}
+
+bool
+MBus::busy(const MBusClient *client) const
+{
+    if (active && active->initiator == client)
+        return true;
+    for (unsigned i = 0; i < clients.size(); ++i) {
+        if (clients[i] == client)
+            return pending[i].has_value();
+    }
+    return false;
+}
+
+void
+MBus::trace(Cycle now, const std::string &phase,
+            const std::string &detail)
+{
+    if (traceHook)
+        traceHook(now, phase, detail);
+}
+
+void
+MBus::tick(Cycle now)
+{
+    ++totalCycleCount;
+
+    if (!active) {
+        // Arbitration: fixed priority, lowest index wins.
+        for (unsigned i = 0; i < pending.size(); ++i) {
+            if (!pending[i].has_value())
+                continue;
+            active = pending[i]->txn;
+            arbWaitHist.sample(
+                static_cast<double>(now - pending[i]->requested));
+            pending[i].reset();
+            phaseCycle = 0;
+            suppliers.clear();
+            ++busyCycleCount;
+            std::ostringstream os;
+            os << toString(active->type) << " 0x" << std::hex
+               << active->addr << std::dec << " ("
+               << toString(active->kind) << ") by "
+               << active->initiator->busClientName();
+            trace(now, "arb+addr", os.str());
+            return;
+        }
+        return;  // idle cycle
+    }
+
+    ++busyCycleCount;
+    ++phaseCycle;
+
+    if (phaseCycle == 1) {
+        probePhase();
+        trace(now, "wdata+probe",
+              active->type == MBusOpType::MWrite ? "write data driven"
+                                                 : "tag probe");
+    } else if (phaseCycle == 2) {
+        trace(now, "mshared",
+              active->mshared ? "MShared asserted" : "MShared clear");
+    } else {
+        const unsigned burst = phaseCycle - 3;
+        dataPhase(burst);
+        trace(now, "data",
+              active->suppliedByCache ? "cache supplies, memory inhibited"
+                                      : "memory drives/captures");
+        if (burst + 1 == active->words)
+            completeTransaction();
+    }
+}
+
+void
+MBus::probePhase()
+{
+    for (unsigned i = 0; i < clients.size(); ++i) {
+        if (clients[i] == active->initiator)
+            continue;
+        const SnoopReply reply = clients[i]->snoopProbe(*active);
+        if (reply.shared)
+            active->mshared = true;
+        if (reply.supply)
+            suppliers.push_back(i);
+    }
+    active->suppliedByCache = !suppliers.empty();
+}
+
+void
+MBus::dataPhase(unsigned burst_index)
+{
+    MBusTransaction &txn = *active;
+    const Addr addr = txn.addr + burst_index * bytesPerWord;
+
+    switch (txn.type) {
+      case MBusOpType::MRead:
+      case MBusOpType::MReadOwned:
+        if (!suppliers.empty()) {
+            // One or more caches drive the data; the protocol
+            // guarantees they agree (checked here as an invariant).
+            bool first = true;
+            Word value = 0;
+            std::array<Word, maxBurstWords> buf{};
+            for (const unsigned idx : suppliers) {
+                clients[idx]->snoopSupplyData(txn, buf.data());
+                if (first) {
+                    value = buf[burst_index];
+                    first = false;
+                } else if (buf[burst_index] != value) {
+                    panic("caches disagree on read data for 0x%x "
+                          "(coherence broken)", addr);
+                }
+            }
+            txn.data[burst_index] = value;
+            // The memory always captures a cache supply.  For the
+            // Firefly protocol a dirty supplier relies on this to
+            // become clean-shared; for clean sharers it is a no-op.
+            // Protocols that keep ownership (Berkeley, Dragon) set
+            // updatesMemory=false on their fills... but fills are
+            // reads; they signal capture policy via txn.updatesMemory.
+            if (txn.updatesMemory)
+                memory.write(addr, value);
+        } else {
+            txn.data[burst_index] = memory.read(addr);
+        }
+        break;
+
+      case MBusOpType::MWrite:
+        if (txn.updatesMemory)
+            memory.write(addr, txn.data[burst_index]);
+        break;
+
+      case MBusOpType::MInvalidate:
+        break;  // address-only
+    }
+}
+
+void
+MBus::completeTransaction()
+{
+    // Detach the transaction before callbacks so the initiator can
+    // immediately queue a follow-on request (victim write -> fill).
+    MBusTransaction txn = *active;
+    active.reset();
+
+    ++opCount[static_cast<int>(txn.type)];
+    ++kindCount[static_cast<int>(txn.kind)];
+    if (txn.mshared)
+        ++msharedCount;
+    if (txn.suppliedByCache &&
+        (txn.type == MBusOpType::MRead ||
+         txn.type == MBusOpType::MReadOwned)) {
+        ++cacheSupplyCount;
+    }
+
+    if (txn.type != MBusOpType::MRead && !writeObservers.empty()) {
+        for (const auto &observer : writeObservers)
+            observer(txn.addr, txn.words);
+    }
+
+    for (auto *client : clients) {
+        if (client != txn.initiator)
+            client->snoopComplete(txn);
+    }
+    txn.initiator->transactionDone(txn);
+}
+
+double
+MBus::load() const
+{
+    const auto total = totalCycleCount.value();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(busyCycleCount.value()) /
+           static_cast<double>(total);
+}
+
+} // namespace firefly

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The Firefly MBus.
+ *
+ * The MBus is a synchronous bus with two operations, MRead and
+ * MWrite, each taking four 100 ns cycles (paper Figure 4):
+ *
+ *   cycle 0: arbitration; the winner places address and operation
+ *   cycle 1: write data (MWrite); all other caches probe their tags
+ *   cycle 2: caches holding the line assert the wired-OR MShared
+ *   cycle 3: data transfer; on MRead, if MShared was asserted the
+ *            sharing caches supply the data and main memory is
+ *            inhibited (but captures a dirty supply, keeping memory
+ *            consistent with clean-shared copies)
+ *
+ * One transfer completes every 400 ns, i.e. 10 MB/s peak with 4-byte
+ * transfers.  Arbitration is fixed priority (the paper notes this
+ * favours high-priority caches).  Burst transfers of more than one
+ * longword (+1 cycle per extra word) are an extension used only by
+ * the line-size ablation; the real machine always moved one longword.
+ *
+ * The baseline coherence protocols need two bus operations the real
+ * MBus did not have: MReadOwned (read with intent to modify) and
+ * MInvalidate (address-only).  They use the same 4-cycle timing.
+ */
+
+#ifndef FIREFLY_MBUS_MBUS_HH
+#define FIREFLY_MBUS_MBUS_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+class MBusClient;
+
+/** Operation as seen on the bus wires. */
+enum class MBusOpType : std::uint8_t
+{
+    MRead,
+    MWrite,
+    MReadOwned,   ///< extension for invalidation protocols
+    MInvalidate,  ///< extension for invalidation protocols
+};
+
+/** Why the initiator issued the operation (statistics only). */
+enum class MBusOpKind : std::uint8_t
+{
+    Fill,          ///< read to service a cache miss
+    VictimWrite,   ///< write-back of a dirty victim
+    WriteThrough,  ///< Firefly conditional write-through / WTI write
+    Update,        ///< Dragon cache-to-cache update (no memory write)
+    Invalidate,    ///< ownership acquisition
+    DmaRead,
+    DmaWrite,
+};
+
+const char *toString(MBusOpType type);
+const char *toString(MBusOpKind kind);
+
+/** Longest supported burst (line-size ablation: 32-byte lines). */
+constexpr unsigned maxBurstWords = 8;
+
+/** One bus transaction, in flight or completed. */
+struct MBusTransaction
+{
+    MBusOpType type = MBusOpType::MRead;
+    MBusOpKind kind = MBusOpKind::Fill;
+    Addr addr = 0;            ///< byte address, longword aligned
+    unsigned words = 1;       ///< burst length in longwords
+    std::array<Word, maxBurstWords> data{};  ///< write data / read result
+    bool updatesMemory = true;  ///< MWrite: memory captures the data
+    MBusClient *initiator = nullptr;
+
+    // Results, valid from the MShared cycle onwards:
+    bool mshared = false;        ///< wired-OR of snoop hits
+    bool suppliedByCache = false; ///< a cache drove the read data
+};
+
+/** Snoop response gathered in the probe cycle. */
+struct SnoopReply
+{
+    bool shared = false;  ///< assert MShared
+    bool supply = false;  ///< will drive read data in the data cycle
+};
+
+/** Interface every bus agent (cache, DMA engine) implements. */
+class MBusClient
+{
+  public:
+    virtual ~MBusClient() = default;
+
+    /** Name for traces and stats. */
+    virtual std::string busClientName() const = 0;
+
+    /**
+     * Tag probe for another agent's transaction (cycle 1).  Must not
+     * mutate coherence state; state changes belong in snoopComplete.
+     */
+    virtual SnoopReply snoopProbe(const MBusTransaction &txn) = 0;
+
+    /**
+     * Drive read data (cycle 3); called only if snoopProbe returned
+     * supply.  Writes `txn.words` longwords to `out`.
+     */
+    virtual void snoopSupplyData(const MBusTransaction &txn, Word *out);
+
+    /**
+     * Transaction committed (end of cycle 3); snoopers apply state
+     * changes (update copies on MWrite, invalidate, Dirty->Shared...).
+     */
+    virtual void snoopComplete(const MBusTransaction &txn);
+
+    /** Initiator callback: the transaction finished. */
+    virtual void transactionDone(const MBusTransaction &txn);
+};
+
+/** The bus proper: arbitration + 4-phase transaction engine. */
+class MBus : public Clocked
+{
+  public:
+    MBus(Simulator &sim, MainMemory &memory, std::string name = "mbus");
+
+    /**
+     * Attach a client.  Attachment order is arbitration priority:
+     * earlier clients win ties (the real Firefly used fixed priority).
+     * @return the client's priority index.
+     */
+    unsigned attach(MBusClient *client);
+
+    /**
+     * Request a transaction.  A client may have at most one pending
+     * or active transaction; violating that is a simulator bug.
+     */
+    void request(const MBusTransaction &txn);
+
+    /** True if this client has a pending or active transaction. */
+    bool busy(const MBusClient *client) const;
+
+    void tick(Cycle now) override;
+
+    /** The storage system behind the bus (for functional access). */
+    MainMemory &memorySystem() { return memory; }
+
+    // --- observability ------------------------------------------------
+    /** Fraction of non-idle bus cycles since construction/reset. */
+    double load() const;
+    Cycle busyCycles() const { return busyCycleCount.value(); }
+    Cycle totalCycles() const { return totalCycleCount.value(); }
+    StatGroup &stats() { return statGroup; }
+
+    /**
+     * Cycle-by-cycle trace hook for the Figure 4 bench: receives
+     * (cycle, phase-name, detail) while enabled.
+     */
+    using TraceHook =
+        std::function<void(Cycle, const std::string &, const std::string &)>;
+    void setTraceHook(TraceHook hook) { traceHook = std::move(hook); }
+
+    /**
+     * Observe every committed write-class transaction (MWrite,
+     * MReadOwned, MInvalidate).  Non-snooping structures - the CVAX
+     * on-chip cache model - use this to detect would-be staleness.
+     */
+    using WriteObserver = std::function<void(Addr, unsigned words)>;
+    void
+    addWriteObserver(WriteObserver observer)
+    {
+        writeObservers.push_back(std::move(observer));
+    }
+
+  private:
+    struct PendingRequest
+    {
+        MBusTransaction txn;
+        Cycle requested;
+    };
+
+    void beginTransaction(Cycle now);
+    void probePhase();
+    void dataPhase(unsigned burst_index);
+    void completeTransaction();
+    void trace(Cycle now, const std::string &phase,
+               const std::string &detail);
+
+    Simulator &sim;
+    MainMemory &memory;
+
+    std::vector<MBusClient *> clients;
+    /** One pending slot per client, indexed by priority. */
+    std::vector<std::optional<PendingRequest>> pending;
+
+    /** Active transaction state. */
+    std::optional<MBusTransaction> active;
+    unsigned phaseCycle = 0;
+    std::vector<unsigned> suppliers;  ///< client indices driving data
+
+    TraceHook traceHook;
+    std::vector<WriteObserver> writeObservers;
+
+    // --- statistics ---------------------------------------------------
+    StatGroup statGroup;
+    Counter totalCycleCount;
+    Counter busyCycleCount;
+    Counter opCount[4];
+    Counter kindCount[7];
+    Counter msharedCount;
+    Counter cacheSupplyCount;
+    Histogram arbWaitHist;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_MBUS_MBUS_HH

@@ -1,0 +1,54 @@
+#include "mem/main_memory.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+MainMemory::MainMemory(std::string name)
+    : statGroup(std::move(name))
+{
+}
+
+MemoryModule &
+MainMemory::addModule(Addr size_bytes)
+{
+    auto module = std::make_unique<MemoryModule>(
+        "mem" + std::to_string(modules.size()), nextBase, size_bytes,
+        modules.empty());
+    nextBase += size_bytes;
+    statGroup.addChild(&module->stats());
+    modules.push_back(std::move(module));
+    return *modules.back();
+}
+
+bool
+MainMemory::contains(Addr byte_addr) const
+{
+    return byte_addr < nextBase;
+}
+
+MemoryModule &
+MainMemory::decode(Addr byte_addr)
+{
+    for (auto &module : modules) {
+        if (module->contains(byte_addr))
+            return *module;
+    }
+    panic("physical address 0x%x has no storage module (installed "
+          "0x%x bytes)", byte_addr, nextBase);
+}
+
+Word
+MainMemory::read(Addr byte_addr)
+{
+    return decode(byte_addr).read(byte_addr);
+}
+
+void
+MainMemory::write(Addr byte_addr, Word value)
+{
+    decode(byte_addr).write(byte_addr, value);
+}
+
+} // namespace firefly

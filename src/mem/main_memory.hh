@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The complete main storage system: address decode across modules.
+ */
+
+#ifndef FIREFLY_MEM_MAIN_MEMORY_HH
+#define FIREFLY_MEM_MAIN_MEMORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/memory_module.hh"
+
+namespace firefly
+{
+
+/** Decodes physical addresses across the installed storage modules. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(std::string name = "memory");
+
+    /**
+     * Install a module of `size_bytes` immediately after the last one.
+     * The first module installed is the master.
+     * @return the new module.
+     */
+    MemoryModule &addModule(Addr size_bytes);
+
+    /** Total installed bytes. */
+    Addr sizeBytes() const { return nextBase; }
+
+    /** True if the byte address decodes to an installed module. */
+    bool contains(Addr byte_addr) const;
+
+    Word read(Addr byte_addr);
+    void write(Addr byte_addr, Word value);
+
+    unsigned moduleCount() const { return modules.size(); }
+    MemoryModule &module(unsigned i) { return *modules.at(i); }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    MemoryModule &decode(Addr byte_addr);
+
+    std::vector<std::unique_ptr<MemoryModule>> modules;
+    Addr nextBase = 0;
+    StatGroup statGroup;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_MEM_MAIN_MEMORY_HH

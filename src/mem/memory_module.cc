@@ -1,0 +1,49 @@
+#include "mem/memory_module.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+MemoryModule::MemoryModule(std::string name, Addr base, Addr size_bytes,
+                           bool master)
+    : _base(base), _sizeBytes(size_bytes), master(master),
+      storage(size_bytes / bytesPerWord), statGroup(std::move(name))
+{
+    if (base % bytesPerWord != 0 || size_bytes % bytesPerWord != 0)
+        fatal("memory module must be longword aligned");
+    statGroup.addCounter(&readCount, "reads",
+                         "longword reads served by this module");
+    statGroup.addCounter(&writeCount, "writes",
+                         "longword writes captured by this module");
+}
+
+bool
+MemoryModule::contains(Addr byte_addr) const
+{
+    return byte_addr >= _base && byte_addr - _base < _sizeBytes;
+}
+
+Addr
+MemoryModule::toWordIndex(Addr byte_addr) const
+{
+    if (!contains(byte_addr))
+        panic("address 0x%x outside module at 0x%x", byte_addr, _base);
+    return (byte_addr - _base) / bytesPerWord;
+}
+
+Word
+MemoryModule::read(Addr byte_addr)
+{
+    ++readCount;
+    return storage.read(toWordIndex(byte_addr));
+}
+
+void
+MemoryModule::write(Addr byte_addr, Word value)
+{
+    ++writeCount;
+    storage.write(toWordIndex(byte_addr), value);
+}
+
+} // namespace firefly

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * One Firefly storage module.
+ *
+ * The original machine packaged memory as one master 4 MB module plus
+ * up to three 4 MB slaves; the CVAX version uses 32 MB modules (up to
+ * four, 128 MB total).  A module owns a contiguous physical range and
+ * counts its own traffic.
+ */
+
+#ifndef FIREFLY_MEM_MEMORY_MODULE_HH
+#define FIREFLY_MEM_MEMORY_MODULE_HH
+
+#include <string>
+
+#include "mem/sparse_memory.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+/** A contiguous memory module on the MBus. */
+class MemoryModule
+{
+  public:
+    /**
+     * @param name        stat name, e.g. "mem0".
+     * @param base        byte address of the first location.
+     * @param size_bytes  module capacity in bytes.
+     * @param master      true for the master module (drives MBus
+     *                    refresh/init; informational only here).
+     */
+    MemoryModule(std::string name, Addr base, Addr size_bytes,
+                 bool master);
+
+    bool contains(Addr byte_addr) const;
+
+    Word read(Addr byte_addr);
+    void write(Addr byte_addr, Word value);
+
+    Addr base() const { return _base; }
+    Addr sizeBytes() const { return _sizeBytes; }
+    bool isMaster() const { return master; }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    Addr toWordIndex(Addr byte_addr) const;
+
+    Addr _base;
+    Addr _sizeBytes;
+    bool master;
+    SparseMemory storage;
+
+    StatGroup statGroup;
+    Counter readCount;
+    Counter writeCount;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_MEM_MEMORY_MODULE_HH

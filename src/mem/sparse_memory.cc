@@ -1,0 +1,49 @@
+#include "mem/sparse_memory.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+SparseMemory::SparseMemory(Addr size_words)
+    : _sizeWords(size_words)
+{
+}
+
+void
+SparseMemory::checkBounds(Addr word_addr) const
+{
+    if (word_addr >= _sizeWords) {
+        panic("memory access beyond end: word 0x%x of 0x%x",
+              word_addr, _sizeWords);
+    }
+}
+
+Word
+SparseMemory::read(Addr word_addr) const
+{
+    checkBounds(word_addr);
+    const Addr chunk = word_addr / chunkWords;
+    const auto it = chunks.find(chunk);
+    if (it == chunks.end())
+        return 0;
+    return it->second[word_addr % chunkWords];
+}
+
+void
+SparseMemory::write(Addr word_addr, Word value)
+{
+    checkBounds(word_addr);
+    const Addr chunk = word_addr / chunkWords;
+    auto it = chunks.find(chunk);
+    if (it == chunks.end()) {
+        auto storage = std::make_unique<Word[]>(chunkWords);
+        std::memset(storage.get(), 0, chunkWords * sizeof(Word));
+        it = chunks.emplace(chunk, std::move(storage)).first;
+    }
+    it->second[word_addr % chunkWords] = value;
+}
+
+} // namespace firefly

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sparse word-addressable backing store.
+ *
+ * A CVAX Firefly can have 128 MB of physical memory; workloads touch
+ * only a fraction of it, so the backing store allocates fixed-size
+ * chunks lazily.  Unwritten memory reads as zero, matching
+ * initialised DRAM after the MBus init sequence.
+ */
+
+#ifndef FIREFLY_MEM_SPARSE_MEMORY_HH
+#define FIREFLY_MEM_SPARSE_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+/** Lazily allocated array of 32-bit words indexed by word address. */
+class SparseMemory
+{
+  public:
+    /** @param size_words capacity; accesses beyond it panic. */
+    explicit SparseMemory(Addr size_words);
+
+    Word read(Addr word_addr) const;
+    void write(Addr word_addr, Word value);
+
+    Addr sizeWords() const { return _sizeWords; }
+
+    /** Number of chunks actually allocated (for tests). */
+    std::size_t allocatedChunks() const { return chunks.size(); }
+
+  private:
+    static constexpr Addr chunkWords = 16384; // 64 KB chunks
+
+    void checkBounds(Addr word_addr) const;
+
+    Addr _sizeWords;
+    mutable std::unordered_map<Addr, std::unique_ptr<Word[]>> chunks;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_MEM_SPARSE_MEMORY_HH

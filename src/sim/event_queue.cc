@@ -1,0 +1,33 @@
+#include "sim/event_queue.hh"
+
+#include <limits>
+
+namespace firefly
+{
+
+void
+EventQueue::schedule(Cycle when, std::function<void()> fn)
+{
+    events.push({when, nextSeq++, std::move(fn)});
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    if (events.empty())
+        return std::numeric_limits<Cycle>::max();
+    return events.top().when;
+}
+
+void
+EventQueue::runUntil(Cycle now)
+{
+    while (!events.empty() && events.top().when <= now) {
+        // Copy out before pop so the callback may schedule new events.
+        auto fn = events.top().fn;
+        events.pop();
+        fn();
+    }
+}
+
+} // namespace firefly

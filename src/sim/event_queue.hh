@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Discrete-event scheduling on top of the cycle clock.
+ *
+ * The core machine (CPUs, caches, MBus) is simulated synchronously,
+ * cycle by cycle, but devices with long, sparse timing (display
+ * refresh, disk seeks, DMA word pacing) schedule callbacks here
+ * instead of ticking every cycle.
+ */
+
+#ifndef FIREFLY_SIM_EVENT_QUEUE_HH
+#define FIREFLY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+/** A time-ordered queue of callbacks, FIFO among equal times. */
+class EventQueue
+{
+  public:
+    /** Schedule fn to run at absolute cycle `when`. */
+    void schedule(Cycle when, std::function<void()> fn);
+
+    /** Cycle of the earliest pending event, or max if empty. */
+    Cycle nextEventCycle() const;
+
+    bool empty() const { return events.empty(); }
+    std::size_t size() const { return events.size(); }
+
+    /** Run every event scheduled at or before `now`. */
+    void runUntil(Cycle now);
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_SIM_EVENT_QUEUE_HH

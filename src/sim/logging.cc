@@ -1,0 +1,88 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace firefly
+{
+
+namespace
+{
+
+std::set<std::string> debugFlags;
+
+void
+vreport(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+setDebugFlag(const std::string &flag, bool enable)
+{
+    if (enable)
+        debugFlags.insert(flag);
+    else
+        debugFlags.erase(flag);
+}
+
+bool
+debugFlagSet(const std::string &flag)
+{
+    return debugFlags.count(flag) != 0;
+}
+
+void
+debugPrintf(const std::string &flag, const char *fmt, ...)
+{
+    std::fprintf(stderr, "[%s] ", flag.c_str());
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+}
+
+} // namespace firefly

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error reporting and debug tracing.
+ *
+ * Follows the gem5 convention: panic() for internal simulator bugs
+ * (conditions that should be impossible), fatal() for user errors
+ * (bad configuration), warn()/inform() for status.  Debug tracing is
+ * gated by named flags so individual subsystems can be traced.
+ */
+
+#ifndef FIREFLY_SIM_LOGGING_HH
+#define FIREFLY_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace firefly
+{
+
+/** Abort the simulation: internal invariant violated (simulator bug). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit the simulation: unusable user configuration or input. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable a named debug-trace flag (e.g. "MBus", "Cache", "Topaz"). */
+void setDebugFlag(const std::string &flag, bool enable = true);
+
+/** Query a debug-trace flag. */
+bool debugFlagSet(const std::string &flag);
+
+/** Emit a trace line if the flag is enabled. */
+void debugPrintf(const std::string &flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Trace macro: cheap when the flag is off.  Usage:
+ *   DPRINTF("MBus", "grant to client %u\n", id);
+ */
+#define DPRINTF(flag, ...)                                              \
+    do {                                                                \
+        if (::firefly::debugFlagSet(flag))                              \
+            ::firefly::debugPrintf(flag, __VA_ARGS__);                  \
+    } while (0)
+
+} // namespace firefly
+
+#endif // FIREFLY_SIM_LOGGING_HH

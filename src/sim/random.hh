@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (synthetic reference
+ * streams, workload think times, ...) draws from Rng instances seeded
+ * from the configuration, so a run is exactly reproducible from its
+ * seed.  The generator is xoshiro256** which is fast, high quality,
+ * and trivially portable.
+ */
+
+#ifndef FIREFLY_SIM_RANDOM_HH
+#define FIREFLY_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace firefly
+{
+
+/** Deterministic random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 so any 64-bit seed gives a good state. */
+    explicit Rng(std::uint64_t seed = 0x5eedf1ef1ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Geometrically distributed count >= 1 with mean 1/p. */
+    std::uint64_t geometric(double p);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_SIM_RANDOM_HH

@@ -1,0 +1,42 @@
+#include "sim/simulator.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+void
+Simulator::addClocked(Clocked *c, Phase phase)
+{
+    const auto idx = static_cast<std::size_t>(phase);
+    if (idx >= 4)
+        panic("bad phase %zu", idx);
+    phases[idx].push_back(c);
+}
+
+void
+Simulator::stepOneCycle()
+{
+    _events.runUntil(_now);
+    for (auto &phase : phases) {
+        for (auto *c : phase)
+            c->tick(_now);
+    }
+    ++_now;
+}
+
+void
+Simulator::run(Cycle cycles)
+{
+    runUntil(_now + cycles);
+}
+
+void
+Simulator::runUntil(Cycle when)
+{
+    stopRequested = false;
+    while (_now < when && !stopRequested)
+        stepOneCycle();
+}
+
+} // namespace firefly

@@ -1,0 +1,177 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+void
+Accumulator::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += v;
+}
+
+void
+Accumulator::reset()
+{
+    _count = 0;
+    _sum = _min = _max = 0.0;
+}
+
+Histogram::Histogram(unsigned bucket_count, double bucket_width)
+    : buckets(bucket_count, 0), width(bucket_width)
+{
+    if (bucket_count == 0 || bucket_width <= 0.0)
+        panic("Histogram needs positive bucket count and width");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    if (v < 0.0)
+        v = 0.0;
+    const auto idx = static_cast<std::size_t>(v / width);
+    if (idx >= buckets.size())
+        ++_overflow;
+    else
+        ++buckets[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    _count = 0;
+    _overflow = 0;
+    _sum = 0.0;
+}
+
+StatGroup::StatGroup(std::string name)
+    : _name(std::move(name))
+{
+}
+
+void
+StatGroup::addCounter(Counter *c, std::string name, std::string desc)
+{
+    counters.push_back({c, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::addAccumulator(Accumulator *a, std::string name,
+                          std::string desc)
+{
+    accums.push_back({a, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::addHistogram(Histogram *h, std::string name, std::string desc)
+{
+    hists.push_back({h, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::addFormula(std::string name, std::string desc,
+                      std::function<double()> fn)
+{
+    formulas.push_back({std::move(fn), std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children.push_back(child);
+}
+
+double
+StatGroup::get(const std::string &stat_name) const
+{
+    for (const auto &c : counters) {
+        if (c.name == stat_name)
+            return static_cast<double>(c.stat->value());
+    }
+    for (const auto &a : accums) {
+        if (a.name == stat_name)
+            return a.stat->mean();
+    }
+    for (const auto &f : formulas) {
+        if (f.name == stat_name)
+            return f.fn();
+    }
+    panic("unknown stat '%s' in group '%s'", stat_name.c_str(),
+          _name.c_str());
+}
+
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    for (const auto &c : counters) {
+        if (c.name == stat_name)
+            return true;
+    }
+    for (const auto &a : accums) {
+        if (a.name == stat_name)
+            return true;
+    }
+    for (const auto &f : formulas) {
+        if (f.name == stat_name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &c : counters)
+        c.stat->reset();
+    for (auto &a : accums)
+        a.stat->reset();
+    for (auto &h : hists)
+        h.stat->reset();
+    for (auto *child : children)
+        child->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(indent * 2, ' ');
+    os << pad << _name << ":\n";
+    auto line = [&](const std::string &name, double value,
+                    const std::string &desc) {
+        os << pad << "  " << std::left << std::setw(32) << name
+           << std::right << std::setw(16) << value << "  # " << desc
+           << "\n";
+    };
+    for (const auto &c : counters)
+        line(c.name, static_cast<double>(c.stat->value()), c.desc);
+    for (const auto &a : accums)
+        line(a.name + ".mean", a.stat->mean(), a.desc);
+    for (const auto &f : formulas)
+        line(f.name, f.fn(), f.desc);
+    for (const auto &h : hists) {
+        os << pad << "  " << h.name << " (hist, width "
+           << h.stat->bucketWidth() << ", mean " << h.stat->mean()
+           << "):";
+        for (unsigned i = 0; i < h.stat->bucketCount(); ++i)
+            os << " " << h.stat->bucket(i);
+        os << " of:" << h.stat->overflow() << "  # " << h.desc << "\n";
+    }
+    for (const auto *child : children)
+        child->dump(os, indent + 1);
+}
+
+} // namespace firefly

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental types shared by the whole simulator.
+ *
+ * The base time unit of the simulation is one MBus cycle (100 ns in
+ * the real machine).  A MicroVAX processor tick is two bus cycles
+ * (200 ns); a CVAX tick is one bus cycle (100 ns).  Physical
+ * addresses are byte addresses; the Firefly bus moves aligned 32-bit
+ * longwords, so most of the machine works in word addresses.
+ */
+
+#ifndef FIREFLY_SIM_TYPES_HH
+#define FIREFLY_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace firefly
+{
+
+/** Simulated time, measured in 100 ns MBus cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address (24 bits on the MicroVAX Firefly, 27 on the
+ *  CVAX version; we carry them in 32 bits). */
+using Addr = std::uint32_t;
+
+/** A 32-bit VAX longword, the unit of transfer on the MBus. */
+using Word = std::uint32_t;
+
+/** Duration of one MBus cycle in nanoseconds. */
+constexpr double busCycleNs = 100.0;
+
+/** Bytes per longword / per MBus transfer / per original cache line. */
+constexpr Addr bytesPerWord = 4;
+
+/** Convert a byte address to a word (longword) address. */
+constexpr Addr
+wordAddr(Addr byte_addr)
+{
+    return byte_addr / bytesPerWord;
+}
+
+/** Convert a word address back to the byte address of its first byte. */
+constexpr Addr
+byteAddr(Addr word_addr)
+{
+    return word_addr * bytesPerWord;
+}
+
+/** Convert a cycle count to simulated seconds. */
+constexpr double
+cyclesToSeconds(Cycle cycles)
+{
+    return static_cast<double>(cycles) * busCycleNs * 1e-9;
+}
+
+/** Convert simulated seconds to cycles (rounded to nearest). */
+constexpr Cycle
+secondsToCycles(double seconds)
+{
+    return static_cast<Cycle>(seconds / (busCycleNs * 1e-9) + 0.5);
+}
+
+} // namespace firefly
+
+#endif // FIREFLY_SIM_TYPES_HH

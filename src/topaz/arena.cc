@@ -1,0 +1,30 @@
+#include "topaz/arena.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+MemoryArena::MemoryArena(Addr base, Addr size_bytes)
+    : _base(base), _size(size_bytes), next(base)
+{
+    if (base % bytesPerWord != 0)
+        fatal("arena base must be longword aligned");
+}
+
+Addr
+MemoryArena::allocate(Addr bytes, const std::string &label)
+{
+    const Addr rounded = (bytes + bytesPerWord - 1) & ~(bytesPerWord - 1);
+    if (next + rounded > _base + _size) {
+        fatal("Topaz arena exhausted allocating %u bytes for '%s' "
+              "(used %u of %u)", rounded, label.c_str(), used(),
+              _size);
+    }
+    const Addr result = next;
+    next += rounded;
+    _regions.push_back({label, result, rounded});
+    return result;
+}
+
+} // namespace firefly

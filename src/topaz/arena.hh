@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulated-memory layout allocator for the Topaz runtime.
+ *
+ * The runtime's data structures - TCBs, stacks, run queues, lock
+ * words, the shared heap - live at real simulated physical addresses
+ * so that executing the runtime generates real coherence traffic.
+ * The arena hands out longword-aligned regions from a fixed range.
+ */
+
+#ifndef FIREFLY_TOPAZ_ARENA_HH
+#define FIREFLY_TOPAZ_ARENA_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+/** A bump allocator over a range of simulated physical memory. */
+class MemoryArena
+{
+  public:
+    MemoryArena(Addr base, Addr size_bytes);
+
+    /** Allocate `bytes`, rounded up to longwords; returns the base. */
+    Addr allocate(Addr bytes, const std::string &label);
+
+    Addr base() const { return _base; }
+    Addr used() const { return next - _base; }
+    Addr capacity() const { return _size; }
+
+    /** Labelled allocation map (for debugging / the examples). */
+    struct Region
+    {
+        std::string label;
+        Addr base;
+        Addr bytes;
+    };
+    const std::vector<Region> &regions() const { return _regions; }
+
+  private:
+    Addr _base;
+    Addr _size;
+    Addr next;
+    std::vector<Region> _regions;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_TOPAZ_ARENA_HH

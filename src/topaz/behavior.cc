@@ -1,0 +1,84 @@
+#include "topaz/behavior.hh"
+
+namespace firefly
+{
+
+BehaviorOp
+BehaviorOp::compute(std::uint32_t instructions)
+{
+    return {Kind::Compute, 0, 0, instructions};
+}
+
+BehaviorOp
+BehaviorOp::touchShared(std::uint32_t words)
+{
+    return {Kind::TouchShared, 0, 0, words};
+}
+
+BehaviorOp
+BehaviorOp::touchPrivate(std::uint32_t words)
+{
+    return {Kind::TouchPrivate, 0, 0, words};
+}
+
+BehaviorOp
+BehaviorOp::lockAcquire(std::uint32_t mutex)
+{
+    return {Kind::LockAcquire, mutex, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::lockRelease(std::uint32_t mutex)
+{
+    return {Kind::LockRelease, mutex, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::wait(std::uint32_t cond, std::uint32_t mutex)
+{
+    return {Kind::Wait, cond, mutex, 0};
+}
+
+BehaviorOp
+BehaviorOp::signal(std::uint32_t cond)
+{
+    return {Kind::Signal, cond, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::broadcast(std::uint32_t cond)
+{
+    return {Kind::Broadcast, cond, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::incrementCounter(std::uint32_t counter)
+{
+    return {Kind::IncrementCounter, counter, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::yield()
+{
+    return {Kind::Yield, 0, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::fork(std::uint32_t program)
+{
+    return {Kind::Fork, program, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::join(std::uint32_t thread)
+{
+    return {Kind::Join, thread, 0, 0};
+}
+
+BehaviorOp
+BehaviorOp::joinAll()
+{
+    return {Kind::JoinAll, 0, 0, 0};
+}
+
+} // namespace firefly

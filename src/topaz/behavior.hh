@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Thread behaviour programs.
+ *
+ * Topaz application threads are modelled as small behaviour programs:
+ * sequences of operations (compute, touch memory, lock, wait/signal,
+ * fork, join, yield) that the runtime interprets on the simulated
+ * processors, emitting the memory references each operation would
+ * perform.  The Threads-exerciser of paper Table 2, the parallel
+ * make of Section 6, and the RPC pipelines are all expressed in this
+ * vocabulary.
+ */
+
+#ifndef FIREFLY_TOPAZ_BEHAVIOR_HH
+#define FIREFLY_TOPAZ_BEHAVIOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firefly
+{
+
+/** One behaviour operation. */
+struct BehaviorOp
+{
+    enum class Kind : std::uint8_t
+    {
+        /** Execute `count` instructions of user code (VAX mix against
+         *  the thread's own code loop, stack and private data). */
+        Compute,
+        /** Read/modify/write `count` words of the shared heap. */
+        TouchShared,
+        /** Read/modify/write `count` words of thread-private data. */
+        TouchPrivate,
+        /** Acquire mutex `index` (blocking if held). */
+        LockAcquire,
+        /** Release mutex `index`. */
+        LockRelease,
+        /** Atomically release mutex `index2` and wait on condition
+         *  `index`; reacquires the mutex before continuing. */
+        Wait,
+        /** Signal condition `index` (wake one waiter). */
+        Signal,
+        /** Broadcast condition `index` (wake all waiters). */
+        Broadcast,
+        /** Increment the shared heap counter `index` under no lock -
+         *  uses the value actually read from simulated memory, so
+         *  coherent mutual exclusion is end-to-end checkable. */
+        IncrementCounter,
+        /** Put self at the back of the ready queue. */
+        Yield,
+        /** Fork a new thread running registered program `index`. */
+        Fork,
+        /** Block until thread `index` (by creation order) is done. */
+        Join,
+        /** Block until every thread this thread forked is done. */
+        JoinAll,
+    };
+
+    Kind kind;
+    std::uint32_t index = 0;   ///< mutex/cond/program/thread index
+    std::uint32_t index2 = 0;  ///< Wait: the mutex to release
+    std::uint32_t count = 0;   ///< Compute/Touch amounts
+
+    // -- convenience constructors ---------------------------------------
+    static BehaviorOp compute(std::uint32_t instructions);
+    static BehaviorOp touchShared(std::uint32_t words);
+    static BehaviorOp touchPrivate(std::uint32_t words);
+    static BehaviorOp lockAcquire(std::uint32_t mutex);
+    static BehaviorOp lockRelease(std::uint32_t mutex);
+    static BehaviorOp wait(std::uint32_t cond, std::uint32_t mutex);
+    static BehaviorOp signal(std::uint32_t cond);
+    static BehaviorOp broadcast(std::uint32_t cond);
+    static BehaviorOp incrementCounter(std::uint32_t counter);
+    static BehaviorOp yield();
+    static BehaviorOp fork(std::uint32_t program);
+    static BehaviorOp join(std::uint32_t thread);
+    static BehaviorOp joinAll();
+};
+
+/** A thread's whole life: `body` repeated `iterations` times. */
+struct BehaviorProgram
+{
+    std::string name = "thread";
+    std::vector<BehaviorOp> body;
+    std::uint64_t iterations = 1;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_TOPAZ_BEHAVIOR_HH

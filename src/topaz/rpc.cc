@@ -1,0 +1,135 @@
+#include "topaz/rpc.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+RpcEngine::RpcEngine(Simulator &sim, QBus &qbus,
+                     EthernetController &nic, Config config)
+    : sim(sim), qbus(qbus), nic(nic), cfg(config), statGroup("rpc")
+{
+    if (cfg.threads == 0)
+        fatal("RPC engine needs at least one call slot");
+    statGroup.addCounter(&callsCompleted, "calls", "RPCs completed");
+    statGroup.addCounter(&bytesTransferred, "bytes",
+                         "request payload bytes transferred");
+    statGroup.addFormula("bandwidth_mbps",
+                         "payload bandwidth in Mbit/s",
+                         [this] { return bandwidthMbps(); });
+}
+
+Addr
+RpcEngine::txBuffer(unsigned slot) const
+{
+    return cfg.bufferBase + slot * 4096;
+}
+
+Addr
+RpcEngine::rxBuffer(unsigned slot) const
+{
+    return cfg.bufferBase + slot * 4096 + 2048;
+}
+
+void
+RpcEngine::start()
+{
+    running = true;
+    startCycle = sim.now();
+    lastOutstandingChange = sim.now();
+    for (unsigned slot = 0; slot < cfg.threads; ++slot)
+        issueCall(slot);
+}
+
+void
+RpcEngine::issueCall(unsigned slot)
+{
+    if (!running)
+        return;
+    outstandingIntegral +=
+        static_cast<double>(outstanding) *
+        (sim.now() - lastOutstandingChange);
+    lastOutstandingChange = sim.now();
+    ++outstanding;
+
+    // Client software: marshal the arguments, then hand the packet
+    // to the controller (the DEQNA DMAs it out of main memory).
+    sim.events().schedule(
+        sim.now() + cfg.clientOverheadCycles / 2, [this, slot] {
+            nic.transmit(txBuffer(slot), cfg.requestBytes,
+                         [this, slot] { serverAccept(slot); });
+        });
+}
+
+void
+RpcEngine::serverAccept(unsigned slot)
+{
+    sim.events().schedule(sim.now() + cfg.serverLatencyCycles,
+                          [this, slot] {
+                              serverPending.push_back(slot);
+                              if (!serverBusy)
+                                  serverDone(serverPending.front());
+                          });
+}
+
+void
+RpcEngine::serverDone(unsigned slot)
+{
+    serverBusy = true;
+    sim.events().schedule(sim.now() + cfg.serverBusyCycles, [this,
+                                                             slot] {
+        serverPending.pop_front();
+        // Reply comes back over the wire into the client's posted
+        // receive buffer (a real DMA into simulated memory).
+        nic.addReceiveBuffer(rxBuffer(slot), 2048);
+        nic.injectFromWire(
+            std::vector<Word>((cfg.replyBytes + 3) / 4, 0xaa55aa55),
+            cfg.replyBytes);
+        replyDelivered(slot);
+        if (!serverPending.empty())
+            serverDone(serverPending.front());
+        else
+            serverBusy = false;
+    });
+}
+
+void
+RpcEngine::replyDelivered(unsigned slot)
+{
+    // Client unmarshal + thread wakeup, then reuse the slot.
+    sim.events().schedule(
+        sim.now() + cfg.clientOverheadCycles / 2, [this, slot] {
+            ++callsCompleted;
+            bytesTransferred += cfg.requestBytes;
+            outstandingIntegral +=
+                static_cast<double>(outstanding) *
+                (sim.now() - lastOutstandingChange);
+            lastOutstandingChange = sim.now();
+            --outstanding;
+            issueCall(slot);
+        });
+}
+
+double
+RpcEngine::bandwidthMbps() const
+{
+    const Cycle elapsed = sim.now() - startCycle;
+    if (elapsed == 0)
+        return 0.0;
+    const double seconds = elapsed * 100e-9;
+    return bytesTransferred.value() * 8.0 / seconds / 1e6;
+}
+
+double
+RpcEngine::averageOutstanding() const
+{
+    const Cycle elapsed = sim.now() - startCycle;
+    if (elapsed == 0)
+        return 0.0;
+    const double integral = outstandingIntegral +
+        static_cast<double>(outstanding) *
+            (sim.now() - lastOutstandingChange);
+    return integral / elapsed;
+}
+
+} // namespace firefly

@@ -1,0 +1,79 @@
+#include "topaz/scheduler.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+const char *
+toString(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Affinity: return "affinity";
+      case SchedulerPolicy::Global: return "global";
+    }
+    return "?";
+}
+
+TopazScheduler::TopazScheduler(unsigned cpus, SchedulerPolicy policy)
+    : _policy(policy), queues(cpus)
+{
+    if (cpus == 0)
+        fatal("scheduler needs at least one CPU");
+}
+
+void
+TopazScheduler::makeReady(unsigned thread, unsigned preferred_cpu)
+{
+    ++enqueues;
+    if (_policy == SchedulerPolicy::Global) {
+        globalQueue.push_back(thread);
+        return;
+    }
+    queues.at(preferred_cpu).push_back(thread);
+}
+
+int
+TopazScheduler::pick(unsigned cpu)
+{
+    if (_policy == SchedulerPolicy::Global) {
+        if (globalQueue.empty())
+            return -1;
+        const unsigned thread = globalQueue.front();
+        globalQueue.pop_front();
+        return static_cast<int>(thread);
+    }
+
+    // Affinity: own queue first.
+    auto &own = queues.at(cpu);
+    if (!own.empty()) {
+        const unsigned thread = own.front();
+        own.pop_front();
+        return static_cast<int>(thread);
+    }
+    // Steal the oldest work from the longest foreign queue.
+    std::size_t best = 0, best_len = 0;
+    for (std::size_t i = 0; i < queues.size(); ++i) {
+        if (i != cpu && queues[i].size() > best_len) {
+            best = i;
+            best_len = queues[i].size();
+        }
+    }
+    if (best_len == 0)
+        return -1;
+    const unsigned thread = queues[best].front();
+    queues[best].pop_front();
+    ++steals;
+    return static_cast<int>(thread);
+}
+
+std::size_t
+TopazScheduler::readyCount() const
+{
+    std::size_t count = globalQueue.size();
+    for (const auto &queue : queues)
+        count += queue.size();
+    return count;
+}
+
+} // namespace firefly

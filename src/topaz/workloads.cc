@@ -1,0 +1,115 @@
+#include "topaz/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+std::uint64_t
+buildThreadsExerciser(TopazRuntime &runtime,
+                      const ExerciserParams &params)
+{
+    const auto &cfg = runtime.config();
+    if (params.groups == 0 || params.threads == 0)
+        fatal("exerciser needs threads and groups");
+    if (params.groups > cfg.mutexes || params.groups > cfg.conditions ||
+        params.groups > cfg.counters) {
+        fatal("exerciser needs %u mutexes/conditions/counters",
+              params.groups);
+    }
+
+    for (unsigned t = 0; t < params.threads; ++t) {
+        const unsigned group = t % params.groups;
+        BehaviorProgram prog;
+        prog.name = "exerciser-" + std::to_string(t);
+        prog.iterations = params.iterations;
+        prog.body = {
+            BehaviorOp::lockAcquire(group),
+            BehaviorOp::incrementCounter(group),
+            BehaviorOp::touchShared(params.sharedTouches),
+            BehaviorOp::signal(group),
+            BehaviorOp::wait(group, group),
+            BehaviorOp::lockRelease(group),
+            BehaviorOp::yield(),
+            BehaviorOp::compute(params.computeInstructions),
+            BehaviorOp::touchPrivate(params.privateTouches),
+        };
+        const unsigned prog_id = runtime.registerProgram(prog);
+        runtime.addThread(prog_id);
+    }
+    return static_cast<std::uint64_t>(params.threads) *
+           params.iterations;
+}
+
+void
+buildParallelMake(TopazRuntime &runtime,
+                  const ParallelMakeParams &params)
+{
+    if (params.jobs == 0)
+        fatal("parallel make needs jobs");
+
+    // The compilation job: compute-heavy, private data only (each
+    // compiler instance reads its own source and writes its own
+    // object file).
+    BehaviorProgram job;
+    job.name = "compile";
+    job.iterations = 1;
+    job.body = {
+        BehaviorOp::compute(
+            static_cast<std::uint32_t>(params.jobInstructions / 2)),
+        BehaviorOp::touchPrivate(params.jobPrivateTouches),
+        BehaviorOp::compute(
+            static_cast<std::uint32_t>(params.jobInstructions / 2)),
+        BehaviorOp::touchPrivate(params.jobPrivateTouches),
+    };
+    const unsigned job_id = runtime.registerProgram(job);
+
+    // The coordinator (make itself): fork everything, then join.
+    BehaviorProgram make;
+    make.name = "make";
+    make.iterations = 1;
+    for (unsigned i = 0; i < params.jobs; ++i)
+        make.body.push_back(BehaviorOp::fork(job_id));
+    make.body.push_back(BehaviorOp::compute(100));
+    make.body.push_back(BehaviorOp::joinAll());
+    const unsigned make_id = runtime.registerProgram(make);
+    runtime.addThread(make_id);
+}
+
+void
+buildPipeline(TopazRuntime &runtime, const PipelineParams &params)
+{
+    const auto &cfg = runtime.config();
+    if (params.stages < 2)
+        fatal("pipeline needs at least two stages");
+    if (params.stages > cfg.mutexes)
+        fatal("pipeline needs %u mutexes", params.stages);
+
+    // Stage i takes items from buffer i (guarded by mutex i) and
+    // deposits into buffer i+1.  Signals announce deposits; the
+    // workload is deliberately wait-free (signals with no waiter are
+    // lost, which is fine - this models the data movement of an
+    // awk|grep|sed pipe, not its flow control).
+    for (unsigned s = 0; s < params.stages; ++s) {
+        BehaviorProgram stage;
+        stage.name = "stage-" + std::to_string(s);
+        stage.iterations = params.items;
+        if (s > 0) {
+            stage.body.push_back(BehaviorOp::lockAcquire(s - 1));
+            stage.body.push_back(BehaviorOp::touchShared(2));
+            stage.body.push_back(BehaviorOp::lockRelease(s - 1));
+        }
+        stage.body.push_back(BehaviorOp::compute(params.workPerItem));
+        if (s + 1 < params.stages) {
+            stage.body.push_back(BehaviorOp::lockAcquire(s));
+            stage.body.push_back(BehaviorOp::touchShared(2));
+            stage.body.push_back(
+                BehaviorOp::signal(s % cfg.conditions));
+            stage.body.push_back(BehaviorOp::lockRelease(s));
+        }
+        stage.body.push_back(BehaviorOp::yield());
+        runtime.addThread(runtime.registerProgram(stage));
+    }
+}
+
+} // namespace firefly

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Canned Topaz workloads.
+ *
+ *  - The Threads exerciser of paper Table 2: "forks a number of
+ *    threads, each of which then executes and checks the results of
+ *    Threads package primitives.  There is a great deal of
+ *    synchronization and process migration, since the threads
+ *    deliberately block and reschedule themselves."
+ *
+ *  - The parallel make of Section 6: a coordinator forks independent
+ *    compilation jobs and joins them - coarse-grained parallelism
+ *    with almost no sharing.
+ *
+ *  - A pipeline workload (Section 2's awk | grep | sed example):
+ *    stages coupled through shared buffers guarded by mutex/condition
+ *    pairs.
+ */
+
+#ifndef FIREFLY_TOPAZ_WORKLOADS_HH
+#define FIREFLY_TOPAZ_WORKLOADS_HH
+
+#include "topaz/runtime.hh"
+
+namespace firefly
+{
+
+/** Parameters for the Table 2 Threads exerciser. */
+struct ExerciserParams
+{
+    unsigned threads = 12;
+    std::uint64_t iterations = 150;
+    /** User instructions computed per iteration. */
+    unsigned computeInstructions = 150;
+    unsigned sharedTouches = 2;
+    unsigned privateTouches = 10;
+    /** Distinct mutex/condition groups threads are spread over. */
+    unsigned groups = 4;
+};
+
+/**
+ * Build the Threads exerciser: `threads` workers spread over
+ * `groups` mutex/condition pairs.  Each iteration locks, bumps a
+ * lock-protected shared counter (a real read-modify-write through
+ * the coherent memory), touches shared and private data, signals and
+ * waits on the group condition (deliberate blocking/rescheduling),
+ * yields, and computes.
+ *
+ * @return the expected final sum of the shared counters, so callers
+ *         can check end-to-end mutual exclusion + coherence.
+ */
+std::uint64_t buildThreadsExerciser(TopazRuntime &runtime,
+                                    const ExerciserParams &params);
+
+/** Parameters for the parallel make workload. */
+struct ParallelMakeParams
+{
+    unsigned jobs = 8;
+    /** Instructions per compilation job. */
+    std::uint64_t jobInstructions = 4000;
+    unsigned jobPrivateTouches = 64;
+};
+
+/**
+ * Build the parallel make: thread 0 is the coordinator; it forks
+ * `jobs` compilations and joins them all.  Compilations are compute-
+ * heavy and private (the coarse-grained parallelism of Section 6).
+ */
+void buildParallelMake(TopazRuntime &runtime,
+                       const ParallelMakeParams &params);
+
+/** Parameters for the pipeline workload. */
+struct PipelineParams
+{
+    unsigned stages = 3;
+    std::uint64_t items = 200;
+    unsigned workPerItem = 40;
+};
+
+/**
+ * Build a pipeline of `stages` threads passing items through shared
+ * buffers (producer/consumer with mutex+condition per link).
+ */
+void buildPipeline(TopazRuntime &runtime, const PipelineParams &params);
+
+} // namespace firefly
+
+#endif // FIREFLY_TOPAZ_WORKLOADS_HH

@@ -1,0 +1,226 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace firefly
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'F', 'F', 'T', 'R'};
+constexpr std::uint32_t traceVersion = 1;
+
+struct TraceHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+std::uint64_t
+packRecord(const TraceRecord &record)
+{
+    const std::uint32_t meta =
+        (static_cast<std::uint32_t>(record.kind) & 0x3u) |
+        (record.payload << 2);
+    return static_cast<std::uint64_t>(record.addr) |
+           (static_cast<std::uint64_t>(meta) << 32);
+}
+
+TraceRecord
+unpackRecord(std::uint64_t packed)
+{
+    TraceRecord record;
+    record.addr = static_cast<Addr>(packed & 0xffffffffu);
+    const auto meta = static_cast<std::uint32_t>(packed >> 32);
+    record.kind = static_cast<TraceRecord::Kind>(meta & 0x3u);
+    record.payload = meta >> 2;
+    return record;
+}
+
+} // namespace
+
+TraceRecord
+TraceRecord::fromStep(const CpuStep &step)
+{
+    TraceRecord record;
+    switch (step.kind) {
+      case CpuStep::Kind::Compute:
+        record.kind = Kind::Compute;
+        record.payload = step.ticks & 0x3fffffffu;
+        break;
+      case CpuStep::Kind::Ref:
+        record.addr = step.ref.addr;
+        record.payload = step.ref.value & 0x3fffffffu;
+        switch (step.ref.type) {
+          case RefType::InstrRead:
+            record.kind = Kind::InstrRead;
+            break;
+          case RefType::DataRead:
+            record.kind = Kind::DataRead;
+            break;
+          case RefType::DataWrite:
+            record.kind = Kind::DataWrite;
+            break;
+        }
+        break;
+      case CpuStep::Kind::Halt:
+        panic("halts are not recorded in traces");
+    }
+    return record;
+}
+
+CpuStep
+TraceRecord::toStep() const
+{
+    switch (kind) {
+      case Kind::Compute:
+        return CpuStep::makeCompute(payload);
+      case Kind::InstrRead:
+        return CpuStep::makeRef({addr, RefType::InstrRead, 0});
+      case Kind::DataRead:
+        return CpuStep::makeRef({addr, RefType::DataRead, 0});
+      case Kind::DataWrite:
+        return CpuStep::makeRef({addr, RefType::DataWrite, payload});
+    }
+    panic("corrupt trace record");
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file(std::fopen(path.c_str(), "wb"))
+{
+    if (!file)
+        fatal("cannot create trace file '%s'", path.c_str());
+    TraceHeader header{};
+    std::memcpy(header.magic, traceMagic, 4);
+    header.version = traceVersion;
+    header.count = 0;
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    if (!file)
+        panic("append to a closed trace");
+    const std::uint64_t packed = packRecord(record);
+    if (std::fwrite(&packed, sizeof(packed), 1, file) != 1)
+        fatal("trace write failed");
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    // Rewrite the header with the final record count.
+    TraceHeader header{};
+    std::memcpy(header.magic, traceMagic, 4);
+    header.version = traceVersion;
+    header.count = count;
+    std::fseek(file, 0, SEEK_SET);
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("trace header rewrite failed");
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    TraceHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+        std::memcmp(header.magic, traceMagic, 4) != 0) {
+        std::fclose(file);
+        fatal("'%s' is not a Firefly trace", path.c_str());
+    }
+    if (header.version != traceVersion) {
+        std::fclose(file);
+        fatal("trace version %u unsupported", header.version);
+    }
+    _records.reserve(header.count);
+    for (std::uint64_t i = 0; i < header.count; ++i) {
+        std::uint64_t packed = 0;
+        if (std::fread(&packed, sizeof(packed), 1, file) != 1) {
+            std::fclose(file);
+            fatal("trace '%s' truncated at record %llu", path.c_str(),
+                  static_cast<unsigned long long>(i));
+        }
+        _records.push_back(unpackRecord(packed));
+    }
+    std::fclose(file);
+}
+
+RecordingSource::RecordingSource(RefSource &inner,
+                                 const std::string &path)
+    : inner(inner), _writer(path)
+{
+}
+
+CpuStep
+RecordingSource::next()
+{
+    const CpuStep step = inner.next();
+    if (step.kind != CpuStep::Kind::Halt)
+        _writer.append(TraceRecord::fromStep(step));
+    else
+        _writer.close();
+    return step;
+}
+
+void
+RecordingSource::onRefCompleted(const MemRef &ref, Word data)
+{
+    inner.onRefCompleted(ref, data);
+}
+
+std::uint64_t
+RecordingSource::instructionsCompleted() const
+{
+    return inner.instructionsCompleted();
+}
+
+ReplaySource::ReplaySource(const std::string &path, unsigned repeat)
+    : reader(path), remainingPasses(repeat), forever(repeat == 0)
+{
+}
+
+CpuStep
+ReplaySource::next()
+{
+    const auto &records = reader.records();
+    if (records.empty())
+        return CpuStep::makeHalt();
+    if (pos >= records.size()) {
+        if (!forever) {
+            if (remainingPasses <= 1)
+                return CpuStep::makeHalt();  // and stays halted
+            --remainingPasses;
+        }
+        pos = 0;
+    }
+    const TraceRecord &record = records[pos++];
+    if (record.kind == TraceRecord::Kind::InstrRead)
+        ++instructions;  // approximate: one instruction per I-fetch
+    return record.toStep();
+}
+
+std::uint64_t
+ReplaySource::instructionsCompleted() const
+{
+    return instructions;
+}
+
+} // namespace firefly

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The Section 5.2 queueing model must reproduce the paper's printed
+ * numbers: the closed-form coefficients, every row of Table 1, and
+ * the "perhaps nine processors" saturation judgement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/queueing_model.hh"
+
+using namespace firefly;
+
+TEST(QueueingModel, CoefficientsMatchPaper)
+{
+    QueueingModel model;
+    // SM = 1.065/(1-L): TR * M * (1+D) * N = 2.13 * .2 * 1.25 * 2.
+    EXPECT_NEAR(model.sm(0.0), 1.065, 1e-9);
+    // SW = .08/(1-L): DW * S * N = .4 * .1 * 2.
+    EXPECT_NEAR(model.sw(0.0), 0.08, 1e-9);
+    // SP = .85 L (paper rounds 2.13 * .8 / 2 = .852).
+    EXPECT_NEAR(model.sp(1.0), 0.852, 1e-9);
+    // NP = L * TPI / 1.145.
+    EXPECT_NEAR(2.0 * model.busOpsPerInstruction(), 1.145, 1e-3);
+}
+
+TEST(QueueingModel, TpiAtZeroLoadIsBase)
+{
+    QueueingModel model;
+    EXPECT_NEAR(model.tpi(0.0), 11.9 + 1.065 + 0.08, 1e-6);
+}
+
+TEST(QueueingModel, Table1MatchesPaper)
+{
+    QueueingModel model;
+    const auto rows = model.table1();
+    ASSERT_EQ(rows.size(), 6u);
+
+    // Paper Table 1 (NP=2's L is ~.18, derivable from RP=.89).
+    const double expect_l[] = {0.18, 0.33, 0.47, 0.60, 0.70, 0.78};
+    const double expect_tpi[] = {13.4, 13.9, 14.5, 15.3, 16.3, 17.7};
+    const double expect_rp[] = {0.89, 0.85, 0.82, 0.78, 0.72, 0.67};
+    const double expect_tp[] = {1.77, 3.43, 4.93, 6.23, 7.29, 8.07};
+
+    for (int i = 0; i < 6; ++i) {
+        SCOPED_TRACE("NP=" + std::to_string(rows[i].processors));
+        EXPECT_NEAR(rows[i].processors, 2.0 * (i + 1), 1e-9);
+        EXPECT_NEAR(rows[i].busLoad, expect_l[i], 0.015);
+        EXPECT_NEAR(rows[i].tpi, expect_tpi[i], 0.15);
+        EXPECT_NEAR(rows[i].relativePerf, expect_rp[i], 0.01);
+        EXPECT_NEAR(rows[i].totalPerf, expect_tp[i], 0.06);
+    }
+}
+
+TEST(QueueingModel, StandardFiveProcessorConfiguration)
+{
+    // "The standard five-processor configuration delivers somewhat
+    // more than four times the performance of a single processor...
+    // The average bus load on the standard machine is 0.4 and each
+    // processor runs at about 85% of a no-wait-state system."
+    QueueingModel model;
+    const auto row = model.rowForProcessors(5.0);
+    EXPECT_NEAR(row.busLoad, 0.40, 0.015);
+    EXPECT_GT(row.totalPerf, 4.0);
+    EXPECT_LT(row.totalPerf, 4.5);
+    EXPECT_NEAR(row.relativePerf, 0.85, 0.015);
+}
+
+TEST(QueueingModel, SaturatesNearNineProcessors)
+{
+    QueueingModel model;
+    const double np = model.saturationProcessors();
+    EXPECT_GE(np, 8.0);
+    EXPECT_LE(np, 10.0);
+}
+
+TEST(QueueingModel, LoadInversionIsConsistent)
+{
+    QueueingModel model;
+    for (double np = 1.0; np <= 12.0; np += 0.5) {
+        const double load = model.loadForProcessors(np);
+        EXPECT_NEAR(model.processorsForLoad(load), np, 1e-6);
+    }
+}
+
+TEST(QueueingModel, LoadMonotonicInProcessors)
+{
+    QueueingModel model;
+    double prev = 0.0;
+    for (double np = 1.0; np <= 14.0; np += 1.0) {
+        const double load = model.loadForProcessors(np);
+        EXPECT_GT(load, prev);
+        EXPECT_LT(load, 1.0);
+        prev = load;
+    }
+}
+
+TEST(QueueingModel, DiminishingReturns)
+{
+    // Total performance grows but per-processor performance falls.
+    QueueingModel model;
+    double prev_tp = 0.0, prev_rp = 1.1;
+    for (double np = 1.0; np <= 12.0; np += 1.0) {
+        const auto row = model.rowForProcessors(np);
+        EXPECT_GT(row.totalPerf, prev_tp);
+        EXPECT_LT(row.relativePerf, prev_rp);
+        prev_tp = row.totalPerf;
+        prev_rp = row.relativePerf;
+    }
+}
+
+TEST(QueueingModel, LowerMissRateRaisesCapacity)
+{
+    // The CVAX design bet: a bigger cache (lower M) compensates for a
+    // faster processor on the same 10 MB/s bus.
+    QueueModelParams better;
+    better.missRate = 0.1;
+    QueueingModel base, improved(better);
+    EXPECT_LT(improved.loadForProcessors(5.0),
+              base.loadForProcessors(5.0));
+    EXPECT_GT(improved.rowForProcessors(8.0).totalPerf,
+              base.rowForProcessors(8.0).totalPerf);
+}
+
+TEST(QueueingModel, MoreSharingCostsPerformance)
+{
+    QueueModelParams heavy;
+    heavy.sharedWriteFrac = 0.33;  // Table 2's measured exerciser
+    QueueingModel base, shared(heavy);
+    EXPECT_LT(shared.rowForProcessors(5.0).totalPerf,
+              base.rowForProcessors(5.0).totalPerf);
+}
+
+TEST(ClosedModel, AgreesWithOpenModelAtLightLoad)
+{
+    QueueingModel model;
+    for (unsigned np : {1u, 2u, 3u}) {
+        const auto open = model.rowForProcessors(np);
+        const auto closed = model.closedRowForProcessors(np);
+        EXPECT_NEAR(closed.tpi, open.tpi, open.tpi * 0.05) << np;
+        EXPECT_NEAR(closed.busLoad, open.busLoad, 0.03) << np;
+    }
+}
+
+TEST(ClosedModel, BoundedPopulationNeverSaturates)
+{
+    // The open model cannot be evaluated past the load asymptote;
+    // the closed model stays meaningful at any population.
+    QueueingModel model;
+    for (unsigned np : {8u, 12u, 20u, 40u}) {
+        const auto row = model.closedRowForProcessors(np);
+        EXPECT_LT(row.busLoad, 1.0) << np;
+        EXPECT_GT(row.busLoad, 0.0) << np;
+        EXPECT_GT(row.totalPerf, 0.0) << np;
+    }
+}
+
+TEST(ClosedModel, LessPessimisticThanOpenAtHighLoad)
+{
+    // "This is not accurate at high loads, since the number of
+    // caches requesting service is bounded" - the open model
+    // overestimates queueing once the population bound matters.
+    QueueingModel model;
+    const auto open = model.rowForProcessors(12.0);
+    const auto closed = model.closedRowForProcessors(12);
+    EXPECT_LE(closed.tpi, open.tpi * 1.02);
+    EXPECT_GE(closed.totalPerf, open.totalPerf * 0.98);
+}
+
+TEST(ClosedModel, ThroughputMonotoneInProcessors)
+{
+    QueueingModel model;
+    double prev = 0.0;
+    for (unsigned np = 1; np <= 16; ++np) {
+        const auto row = model.closedRowForProcessors(np);
+        EXPECT_GT(row.totalPerf, prev);
+        prev = row.totalPerf;
+    }
+}

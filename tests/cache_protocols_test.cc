@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Behavioural tests shared by all five coherence protocols, plus
+ * protocol-specific checks for the four baselines (Dragon, WTI,
+ * Berkeley, MESI).  The shared tests are parameterized over protocol
+ * and line size and assert the properties every protocol must give
+ * the software: reads see the most recent write, copies agree, and
+ * flushed memory matches the program's history.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hh"
+
+using namespace firefly;
+using firefly::test::TestRig;
+
+namespace
+{
+
+constexpr Addr kA = 0x2000;
+constexpr Addr kB = 0x2000 + 16 * 1024;  // same index as kA (16 KB)
+
+/** All-valid-copies-agree invariant, protocol independent. */
+void
+expectCopiesAgree(const TestRig &rig, Addr addr)
+{
+    bool have = false;
+    Word value = 0;
+    for (const auto &cache : rig.caches) {
+        if (!cache->holds(addr))
+            continue;
+        const Word w =
+            cache->lineAt(addr).data[(addr - cache->lineAt(addr).base) / 4];
+        if (!have) {
+            value = w;
+            have = true;
+        } else {
+            ASSERT_EQ(w, value) << "caches disagree at 0x" << std::hex
+                                << addr;
+        }
+    }
+}
+
+} // namespace
+
+class ProtocolBehaviour
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, Addr>>
+{
+  protected:
+    ProtocolKind kind() const { return std::get<0>(GetParam()); }
+    Cache::Geometry
+    geometry() const
+    {
+        return {16 * 1024, std::get<1>(GetParam())};
+    }
+};
+
+TEST_P(ProtocolBehaviour, ReadReturnsMemoryValue)
+{
+    TestRig rig(kind(), 3, geometry());
+    rig.memory.write(kA, 0xfeed);
+    EXPECT_EQ(rig.read(0, kA), 0xfeedu);
+}
+
+TEST_P(ProtocolBehaviour, ReadAfterWriteSameCpu)
+{
+    TestRig rig(kind(), 3, geometry());
+    rig.write(0, kA, 11);
+    EXPECT_EQ(rig.read(0, kA), 11u);
+    rig.write(0, kA, 12);
+    EXPECT_EQ(rig.read(0, kA), 12u);
+}
+
+TEST_P(ProtocolBehaviour, ReadAfterWriteOtherCpu)
+{
+    TestRig rig(kind(), 3, geometry());
+    rig.write(0, kA, 21);
+    EXPECT_EQ(rig.read(1, kA), 21u);
+    EXPECT_EQ(rig.read(2, kA), 21u);
+}
+
+TEST_P(ProtocolBehaviour, WriteOverRemoteDirty)
+{
+    TestRig rig(kind(), 3, geometry());
+    rig.write(0, kA, 1);
+    rig.write(0, kA, 2);  // likely dirty in cache 0
+    rig.write(1, kA, 3);
+    EXPECT_EQ(rig.read(0, kA), 3u);
+    EXPECT_EQ(rig.read(2, kA), 3u);
+    expectCopiesAgree(rig, kA);
+}
+
+TEST_P(ProtocolBehaviour, PingPongWritersConverge)
+{
+    TestRig rig(kind(), 2, geometry());
+    for (Word i = 0; i < 20; ++i)
+        rig.write(i % 2, kA, 100 + i);
+    EXPECT_EQ(rig.read(0, kA), 119u);
+    EXPECT_EQ(rig.read(1, kA), 119u);
+    expectCopiesAgree(rig, kA);
+}
+
+TEST_P(ProtocolBehaviour, ConflictEvictionPreservesData)
+{
+    TestRig rig(kind(), 2, geometry());
+    rig.write(0, kA, 31);
+    rig.write(0, kB, 32);  // may evict kA (same index)
+    rig.write(0, kA, 33);  // may evict kB
+    EXPECT_EQ(rig.read(0, kB), 32u);
+    EXPECT_EQ(rig.read(0, kA), 33u);
+    EXPECT_EQ(rig.read(1, kA), 33u);
+    EXPECT_EQ(rig.read(1, kB), 32u);
+}
+
+TEST_P(ProtocolBehaviour, FlushLeavesMemoryCurrent)
+{
+    TestRig rig(kind(), 3, geometry());
+    rig.write(0, kA, 41);
+    rig.write(1, kA, 42);
+    rig.write(1, kA + 8, 43);
+    rig.write(2, kB, 44);
+    for (auto &cache : rig.caches)
+        cache->flushFunctional();
+    EXPECT_EQ(rig.memory.read(kA), 42u);
+    EXPECT_EQ(rig.memory.read(kA + 8), 43u);
+    EXPECT_EQ(rig.memory.read(kB), 44u);
+}
+
+TEST_P(ProtocolBehaviour, ReadersThenSingleWriter)
+{
+    TestRig rig(kind(), 3, geometry());
+    rig.memory.write(kA, 7);
+    EXPECT_EQ(rig.read(0, kA), 7u);
+    EXPECT_EQ(rig.read(1, kA), 7u);
+    EXPECT_EQ(rig.read(2, kA), 7u);
+    rig.write(1, kA, 8);
+    EXPECT_EQ(rig.read(0, kA), 8u);
+    EXPECT_EQ(rig.read(2, kA), 8u);
+    expectCopiesAgree(rig, kA);
+}
+
+TEST_P(ProtocolBehaviour, InterleavedAddressesStayIndependent)
+{
+    TestRig rig(kind(), 2, geometry());
+    for (Word i = 0; i < 8; ++i)
+        rig.write(0, kA + 4 * i, 200 + i);
+    for (Word i = 0; i < 8; ++i)
+        EXPECT_EQ(rig.read(1, kA + 4 * i), 200 + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolBehaviour,
+    ::testing::Combine(
+        ::testing::Values(ProtocolKind::Firefly, ProtocolKind::Dragon,
+                          ProtocolKind::WriteThroughInvalidate,
+                          ProtocolKind::Berkeley, ProtocolKind::Mesi),
+        ::testing::Values(Addr{4}, Addr{16})),
+    [](const auto &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_line" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Protocol-specific expectations.
+// ---------------------------------------------------------------------------
+
+TEST(WtiProtocol, EveryWriteGoesToTheBus)
+{
+    TestRig rig(ProtocolKind::WriteThroughInvalidate, 2);
+    rig.read(0, kA);
+    for (Word i = 0; i < 5; ++i)
+        rig.write(0, kA, i);
+    EXPECT_EQ(rig.bus->stats().get("writes"), 5.0);
+    // Memory is always current under write-through.
+    EXPECT_EQ(rig.memory.read(kA), 4u);
+}
+
+TEST(WtiProtocol, ObservedWriteInvalidates)
+{
+    TestRig rig(ProtocolKind::WriteThroughInvalidate, 2);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    rig.write(0, kA, 9);
+    EXPECT_EQ(rig.state(1, kA), LineState::Invalid);
+    EXPECT_EQ(rig.caches[1]->invalidationsReceived.value(), 1u);
+    // The reload costs an extra miss - the paper's argument against
+    // write-through for multiprocessors.
+    const auto misses = rig.caches[1]->readMisses.value();
+    EXPECT_EQ(rig.read(1, kA), 9u);
+    EXPECT_EQ(rig.caches[1]->readMisses.value(), misses + 1);
+}
+
+TEST(WtiProtocol, NoVictimWritesEver)
+{
+    TestRig rig(ProtocolKind::WriteThroughInvalidate, 1);
+    rig.write(0, kA, 1);
+    rig.write(0, kB, 2);
+    rig.read(0, kA);
+    rig.read(0, kB);
+    EXPECT_EQ(rig.caches[0]->victimWrites.value(), 0u);
+}
+
+TEST(DragonProtocol, UpdateLeavesMemoryStale)
+{
+    TestRig rig(ProtocolKind::Dragon, 2);
+    rig.memory.write(kA, 1);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    rig.write(0, kA, 2);  // bus update, not write-through
+    EXPECT_EQ(rig.read(1, kA), 2u);          // sharer updated
+    EXPECT_EQ(rig.memory.read(kA), 1u);      // memory stale
+    EXPECT_EQ(rig.state(0, kA), LineState::SharedDirty);  // Sm owner
+    EXPECT_EQ(rig.state(1, kA), LineState::Shared);       // Sc
+    EXPECT_EQ(rig.caches[0]->updatesSent.value(), 1u);
+}
+
+TEST(DragonProtocol, OwnerSuppliesAndWritesBackOnEviction)
+{
+    TestRig rig(ProtocolKind::Dragon, 2);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    rig.write(0, kA, 5);  // cache 0 is Sm owner
+    rig.write(0, kB, 6);  // evicts the Sm line -> victim write
+    EXPECT_EQ(rig.caches[0]->victimWrites.value(), 1u);
+    EXPECT_EQ(rig.memory.read(kA), 5u);
+    // The remaining Sc copy still reads correctly.
+    EXPECT_EQ(rig.read(1, kA), 5u);
+}
+
+TEST(DragonProtocol, WriterOwnershipMigrates)
+{
+    TestRig rig(ProtocolKind::Dragon, 2);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    rig.write(0, kA, 1);
+    EXPECT_EQ(rig.state(0, kA), LineState::SharedDirty);
+    rig.write(1, kA, 2);
+    // Ownership moved to cache 1; cache 0 demoted to Sc.
+    EXPECT_EQ(rig.state(1, kA), LineState::SharedDirty);
+    EXPECT_EQ(rig.state(0, kA), LineState::Shared);
+}
+
+TEST(BerkeleyProtocol, WriteAcquiresOwnershipByInvalidation)
+{
+    TestRig rig(ProtocolKind::Berkeley, 3);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    rig.read(2, kA);
+    rig.write(0, kA, 9);
+    EXPECT_EQ(rig.state(0, kA), LineState::Dirty);
+    EXPECT_EQ(rig.state(1, kA), LineState::Invalid);
+    EXPECT_EQ(rig.state(2, kA), LineState::Invalid);
+    EXPECT_EQ(rig.caches[0]->invalidatesSent.value(), 1u);
+    // Memory not updated: the owner holds the only copy.
+    EXPECT_EQ(rig.memory.read(kA), 0u);
+}
+
+TEST(BerkeleyProtocol, OwnerSuppliesReadersAndBecomesSharedDirty)
+{
+    TestRig rig(ProtocolKind::Berkeley, 2);
+    rig.write(0, kA, 3);
+    ASSERT_EQ(rig.state(0, kA), LineState::Dirty);
+    EXPECT_EQ(rig.read(1, kA), 3u);
+    EXPECT_EQ(rig.state(0, kA), LineState::SharedDirty);
+    EXPECT_EQ(rig.state(1, kA), LineState::Shared);
+    // Memory still stale; write-back happens on victimisation.
+    EXPECT_EQ(rig.memory.read(kA), 0u);
+    rig.write(0, kB, 4);  // evict the owned line
+    EXPECT_EQ(rig.memory.read(kA), 3u);
+}
+
+TEST(BerkeleyProtocol, FillsInstallUnownedShared)
+{
+    TestRig rig(ProtocolKind::Berkeley, 2);
+    rig.memory.write(kA, 1);
+    rig.read(0, kA);
+    EXPECT_EQ(rig.state(0, kA), LineState::Shared);
+}
+
+TEST(MesiProtocol, ExclusiveCleanUpgradesSilently)
+{
+    TestRig rig(ProtocolKind::Mesi, 2);
+    rig.read(0, kA);
+    EXPECT_EQ(rig.state(0, kA), LineState::Valid);  // E
+    const double writes = rig.bus->stats().get("writes");
+    const double invals = rig.bus->stats().get("invalidates");
+    rig.write(0, kA, 4);
+    EXPECT_EQ(rig.state(0, kA), LineState::Dirty);  // M
+    EXPECT_EQ(rig.bus->stats().get("writes"), writes);
+    EXPECT_EQ(rig.bus->stats().get("invalidates"), invals);
+}
+
+TEST(MesiProtocol, SharedWriteSendsUpgrade)
+{
+    TestRig rig(ProtocolKind::Mesi, 2);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    EXPECT_EQ(rig.state(0, kA), LineState::Shared);
+    rig.write(0, kA, 4);
+    EXPECT_EQ(rig.state(0, kA), LineState::Dirty);
+    EXPECT_EQ(rig.state(1, kA), LineState::Invalid);
+    EXPECT_EQ(rig.caches[0]->invalidatesSent.value(), 1u);
+}
+
+TEST(MesiProtocol, SnoopedReadDowngradesModifiedAndCleansMemory)
+{
+    TestRig rig(ProtocolKind::Mesi, 2);
+    rig.write(0, kA, 6);   // M via BusRdX
+    ASSERT_EQ(rig.state(0, kA), LineState::Dirty);
+    EXPECT_EQ(rig.read(1, kA), 6u);
+    EXPECT_EQ(rig.state(0, kA), LineState::Shared);
+    EXPECT_EQ(rig.state(1, kA), LineState::Shared);
+    // Illinois-style: memory captured the supplied line.
+    EXPECT_EQ(rig.memory.read(kA), 6u);
+}
+
+TEST(MesiProtocol, InvalidationCausesCoherenceMissOnSharer)
+{
+    // The paper: invalidation protocols "perform poorly when actual
+    // sharing occurs, since the invalidated information must be
+    // reloaded when the CPU next references it."
+    TestRig rig(ProtocolKind::Mesi, 2);
+    rig.read(0, kA);
+    rig.read(1, kA);
+    const auto fills_before = rig.caches[1]->fills.value();
+    rig.write(0, kA, 1);
+    EXPECT_EQ(rig.read(1, kA), 1u);
+    EXPECT_EQ(rig.caches[1]->fills.value(), fills_before + 1);
+}
+
+TEST(ProtocolFactory, MakesEveryKind)
+{
+    for (auto kind :
+         {ProtocolKind::Firefly, ProtocolKind::Dragon,
+          ProtocolKind::WriteThroughInvalidate, ProtocolKind::Berkeley,
+          ProtocolKind::Mesi}) {
+        auto proto = makeProtocol(kind);
+        ASSERT_NE(proto, nullptr);
+        EXPECT_STREQ(proto->name(), toString(kind));
+    }
+}
+
+TEST(CacheGeometry, RejectsBadLineSizes)
+{
+    Simulator sim;
+    MainMemory mem;
+    mem.addModule(1 << 20);
+    MBus bus(sim, mem);
+    EXPECT_EXIT(
+        {
+            Cache c(sim, bus, makeProtocol(ProtocolKind::Firefly),
+                    {16 * 1024, 3}, "bad");
+        },
+        ::testing::ExitedWithCode(1), "line size");
+    EXPECT_EXIT(
+        {
+            Cache c(sim, bus, makeProtocol(ProtocolKind::Firefly),
+                    {16 * 1024, 64}, "bad");
+        },
+        ::testing::ExitedWithCode(1), "line size");
+}
+
+TEST(CacheGeometry, SingleLineCacheStillCoherent)
+{
+    TestRig rig(ProtocolKind::Firefly, 2, {4, 4});  // one-line cache
+    rig.write(0, kA, 1);
+    rig.write(0, kA + 4, 2);  // evicts constantly
+    EXPECT_EQ(rig.read(1, kA), 1u);
+    EXPECT_EQ(rig.read(1, kA + 4), 2u);
+}

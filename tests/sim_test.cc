@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: RNG, events, stats, clocking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace firefly;
+
+TEST(Types, WordAddressConversions)
+{
+    EXPECT_EQ(wordAddr(0), 0u);
+    EXPECT_EQ(wordAddr(4), 1u);
+    EXPECT_EQ(wordAddr(7), 1u);
+    EXPECT_EQ(byteAddr(3), 12u);
+}
+
+TEST(Types, TimeConversions)
+{
+    // 10 bus cycles = 1 microsecond.
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(10), 1e-6);
+    EXPECT_EQ(secondsToCycles(1e-6), 10u);
+    // One simulated second is 10 million bus cycles.
+    EXPECT_EQ(secondsToCycles(1.0), 10'000'000u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(0.25));
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(5); });
+    q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(9, [&] { order.push_back(9); });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{2, 5, 9}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3, [&] { order.push_back(1); });
+    q.schedule(3, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.runUntil(3);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(2, [&] { ++fired; });
+    });
+    q.runUntil(5);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DoesNotRunFutureEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.runUntil(9);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.nextEventCycle(), 10u);
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AccumulatorTracksMinMaxMean)
+{
+    Accumulator a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(4, 2.0);  // [0,2) [2,4) [4,6) [6,8)
+    h.sample(0.5);
+    h.sample(3.0);
+    h.sample(3.9);
+    h.sample(7.9);
+    h.sample(100.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Stats, GroupGetAndFormula)
+{
+    StatGroup g("g");
+    Counter c;
+    g.addCounter(&c, "hits", "hit count");
+    g.addFormula("double_hits", "twice the hits",
+                 [&] { return 2.0 * c.value(); });
+    c += 3;
+    EXPECT_DOUBLE_EQ(g.get("hits"), 3.0);
+    EXPECT_DOUBLE_EQ(g.get("double_hits"), 6.0);
+    EXPECT_TRUE(g.has("hits"));
+    EXPECT_FALSE(g.has("misses"));
+}
+
+TEST(Stats, GroupResetRecurses)
+{
+    StatGroup parent("p"), child("c");
+    Counter a, b;
+    parent.addCounter(&a, "a", "");
+    child.addCounter(&b, "b", "");
+    parent.addChild(&child);
+    a += 1;
+    b += 2;
+    parent.reset();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup g("bus");
+    Counter c;
+    c += 7;
+    g.addCounter(&c, "cycles", "elapsed cycles");
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("bus:"), std::string::npos);
+    EXPECT_NE(text.find("cycles"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+namespace
+{
+
+struct Recorder : Clocked
+{
+    std::vector<std::pair<int, Cycle>> *log;
+    int id;
+    Recorder(std::vector<std::pair<int, Cycle>> *log, int id)
+        : log(log), id(id) {}
+    void tick(Cycle now) override { log->emplace_back(id, now); }
+};
+
+} // namespace
+
+TEST(Simulator, PhaseOrderWithinCycle)
+{
+    Simulator sim;
+    std::vector<std::pair<int, Cycle>> log;
+    Recorder cpu(&log, 2), bus(&log, 0), cache(&log, 1);
+    // Register out of order; phases must still run Bus, Cache, Cpu.
+    sim.addClocked(&cpu, Phase::Cpu);
+    sim.addClocked(&bus, Phase::Bus);
+    sim.addClocked(&cache, Phase::Cache);
+    sim.run(2);
+    ASSERT_EQ(log.size(), 6u);
+    EXPECT_EQ(log[0], (std::pair<int, Cycle>{0, 0}));
+    EXPECT_EQ(log[1], (std::pair<int, Cycle>{1, 0}));
+    EXPECT_EQ(log[2], (std::pair<int, Cycle>{2, 0}));
+    EXPECT_EQ(log[3], (std::pair<int, Cycle>{0, 1}));
+}
+
+TEST(Simulator, EventsRunBeforeClocked)
+{
+    Simulator sim;
+    std::vector<int> order;
+    Recorder bus(nullptr, 0);
+    struct Tick : Clocked
+    {
+        std::vector<int> *order;
+        explicit Tick(std::vector<int> *o) : order(o) {}
+        void tick(Cycle) override { order->push_back(2); }
+    } ticked(&order);
+    sim.addClocked(&ticked, Phase::Bus);
+    sim.events().schedule(0, [&] { order.push_back(1); });
+    sim.run(1);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunAdvancesClock)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    sim.run(25);
+    EXPECT_EQ(sim.now(), 25u);
+    sim.runUntil(40);
+    EXPECT_EQ(sim.now(), 40u);
+    EXPECT_DOUBLE_EQ(sim.seconds(), 40 * 100e-9);
+}
+
+TEST(Simulator, RequestStopHaltsLoop)
+{
+    Simulator sim;
+    struct Stopper : Clocked
+    {
+        Simulator *sim;
+        explicit Stopper(Simulator *s) : sim(s) {}
+        void
+        tick(Cycle now) override
+        {
+            if (now == 9)
+                sim->requestStop();
+        }
+    } stopper(&sim);
+    sim.addClocked(&stopper, Phase::Cpu);
+    sim.run(1000);
+    EXPECT_EQ(sim.now(), 10u);
+}
