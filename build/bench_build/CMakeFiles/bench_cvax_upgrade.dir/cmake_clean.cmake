@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cvax_upgrade"
+  "../bench/bench_cvax_upgrade.pdb"
+  "CMakeFiles/bench_cvax_upgrade.dir/bench_cvax_upgrade.cc.o"
+  "CMakeFiles/bench_cvax_upgrade.dir/bench_cvax_upgrade.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cvax_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cvax_upgrade.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_states"
+  "../bench/bench_fig3_states.pdb"
+  "CMakeFiles/bench_fig3_states.dir/bench_fig3_states.cc.o"
+  "CMakeFiles/bench_fig3_states.dir/bench_fig3_states.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

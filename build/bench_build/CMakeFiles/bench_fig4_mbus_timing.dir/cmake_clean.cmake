@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_mbus_timing"
+  "../bench/bench_fig4_mbus_timing.pdb"
+  "CMakeFiles/bench_fig4_mbus_timing.dir/bench_fig4_mbus_timing.cc.o"
+  "CMakeFiles/bench_fig4_mbus_timing.dir/bench_fig4_mbus_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mbus_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_io_dma"
+  "../bench/bench_io_dma.pdb"
+  "CMakeFiles/bench_io_dma.dir/bench_io_dma.cc.o"
+  "CMakeFiles/bench_io_dma.dir/bench_io_dma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

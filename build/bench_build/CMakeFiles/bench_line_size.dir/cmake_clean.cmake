@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_line_size"
+  "../bench/bench_line_size.pdb"
+  "CMakeFiles/bench_line_size.dir/bench_line_size.cc.o"
+  "CMakeFiles/bench_line_size.dir/bench_line_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_line_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_mdc_display.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_migration"
+  "../bench/bench_migration.pdb"
+  "CMakeFiles/bench_migration.dir/bench_migration.cc.o"
+  "CMakeFiles/bench_migration.dir/bench_migration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rpc"
+  "../bench/bench_rpc.pdb"
+  "CMakeFiles/bench_rpc.dir/bench_rpc.cc.o"
+  "CMakeFiles/bench_rpc.dir/bench_rpc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_estimated"
+  "../bench/bench_table1_estimated.pdb"
+  "CMakeFiles/bench_table1_estimated.dir/bench_table1_estimated.cc.o"
+  "CMakeFiles/bench_table1_estimated.dir/bench_table1_estimated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_estimated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_measured"
+  "../bench/bench_table2_measured.pdb"
+  "CMakeFiles/bench_table2_measured.dir/bench_table2_measured.cc.o"
+  "CMakeFiles/bench_table2_measured.dir/bench_table2_measured.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/display_demo.dir/display_demo.cpp.o"
+  "CMakeFiles/display_demo.dir/display_demo.cpp.o.d"
+  "display_demo"
+  "display_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/display_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

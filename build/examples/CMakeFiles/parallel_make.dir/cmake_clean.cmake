@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_make.dir/parallel_make.cpp.o"
+  "CMakeFiles/parallel_make.dir/parallel_make.cpp.o.d"
+  "parallel_make"
+  "parallel_make.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_exerciser.dir/threads_exerciser.cpp.o"
+  "CMakeFiles/threads_exerciser.dir/threads_exerciser.cpp.o.d"
+  "threads_exerciser"
+  "threads_exerciser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_exerciser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_analytic.dir/analytic/queueing_model.cc.o"
+  "CMakeFiles/firefly_analytic.dir/analytic/queueing_model.cc.o.d"
+  "libfirefly_analytic.a"
+  "libfirefly_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/berkeley_protocol.cc" "src/CMakeFiles/firefly_cache.dir/cache/berkeley_protocol.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/berkeley_protocol.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/firefly_cache.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/dragon_protocol.cc" "src/CMakeFiles/firefly_cache.dir/cache/dragon_protocol.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/dragon_protocol.cc.o.d"
+  "/root/repo/src/cache/firefly_protocol.cc" "src/CMakeFiles/firefly_cache.dir/cache/firefly_protocol.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/firefly_protocol.cc.o.d"
+  "/root/repo/src/cache/mesi_protocol.cc" "src/CMakeFiles/firefly_cache.dir/cache/mesi_protocol.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/mesi_protocol.cc.o.d"
+  "/root/repo/src/cache/protocol.cc" "src/CMakeFiles/firefly_cache.dir/cache/protocol.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/protocol.cc.o.d"
+  "/root/repo/src/cache/wti_protocol.cc" "src/CMakeFiles/firefly_cache.dir/cache/wti_protocol.cc.o" "gcc" "src/CMakeFiles/firefly_cache.dir/cache/wti_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/firefly_mbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_cache.dir/cache/berkeley_protocol.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/berkeley_protocol.cc.o.d"
+  "CMakeFiles/firefly_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/firefly_cache.dir/cache/dragon_protocol.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/dragon_protocol.cc.o.d"
+  "CMakeFiles/firefly_cache.dir/cache/firefly_protocol.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/firefly_protocol.cc.o.d"
+  "CMakeFiles/firefly_cache.dir/cache/mesi_protocol.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/mesi_protocol.cc.o.d"
+  "CMakeFiles/firefly_cache.dir/cache/protocol.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/protocol.cc.o.d"
+  "CMakeFiles/firefly_cache.dir/cache/wti_protocol.cc.o"
+  "CMakeFiles/firefly_cache.dir/cache/wti_protocol.cc.o.d"
+  "libfirefly_cache.a"
+  "libfirefly_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_cpu.dir/cpu/onchip_cache.cc.o"
+  "CMakeFiles/firefly_cpu.dir/cpu/onchip_cache.cc.o.d"
+  "CMakeFiles/firefly_cpu.dir/cpu/synthetic_stream.cc.o"
+  "CMakeFiles/firefly_cpu.dir/cpu/synthetic_stream.cc.o.d"
+  "CMakeFiles/firefly_cpu.dir/cpu/trace_cpu.cc.o"
+  "CMakeFiles/firefly_cpu.dir/cpu/trace_cpu.cc.o.d"
+  "CMakeFiles/firefly_cpu.dir/cpu/vax_mix.cc.o"
+  "CMakeFiles/firefly_cpu.dir/cpu/vax_mix.cc.o.d"
+  "libfirefly_cpu.a"
+  "libfirefly_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

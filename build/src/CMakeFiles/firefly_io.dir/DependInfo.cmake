@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/color_display.cc" "src/CMakeFiles/firefly_io.dir/io/color_display.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/color_display.cc.o.d"
+  "/root/repo/src/io/disk.cc" "src/CMakeFiles/firefly_io.dir/io/disk.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/disk.cc.o.d"
+  "/root/repo/src/io/dma_engine.cc" "src/CMakeFiles/firefly_io.dir/io/dma_engine.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/dma_engine.cc.o.d"
+  "/root/repo/src/io/ethernet.cc" "src/CMakeFiles/firefly_io.dir/io/ethernet.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/ethernet.cc.o.d"
+  "/root/repo/src/io/framebuffer.cc" "src/CMakeFiles/firefly_io.dir/io/framebuffer.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/framebuffer.cc.o.d"
+  "/root/repo/src/io/mdc.cc" "src/CMakeFiles/firefly_io.dir/io/mdc.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/mdc.cc.o.d"
+  "/root/repo/src/io/qbus.cc" "src/CMakeFiles/firefly_io.dir/io/qbus.cc.o" "gcc" "src/CMakeFiles/firefly_io.dir/io/qbus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/firefly_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_mbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_io.dir/io/color_display.cc.o"
+  "CMakeFiles/firefly_io.dir/io/color_display.cc.o.d"
+  "CMakeFiles/firefly_io.dir/io/disk.cc.o"
+  "CMakeFiles/firefly_io.dir/io/disk.cc.o.d"
+  "CMakeFiles/firefly_io.dir/io/dma_engine.cc.o"
+  "CMakeFiles/firefly_io.dir/io/dma_engine.cc.o.d"
+  "CMakeFiles/firefly_io.dir/io/ethernet.cc.o"
+  "CMakeFiles/firefly_io.dir/io/ethernet.cc.o.d"
+  "CMakeFiles/firefly_io.dir/io/framebuffer.cc.o"
+  "CMakeFiles/firefly_io.dir/io/framebuffer.cc.o.d"
+  "CMakeFiles/firefly_io.dir/io/mdc.cc.o"
+  "CMakeFiles/firefly_io.dir/io/mdc.cc.o.d"
+  "CMakeFiles/firefly_io.dir/io/qbus.cc.o"
+  "CMakeFiles/firefly_io.dir/io/qbus.cc.o.d"
+  "libfirefly_io.a"
+  "libfirefly_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

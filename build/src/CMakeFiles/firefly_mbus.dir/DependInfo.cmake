@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbus/interrupts.cc" "src/CMakeFiles/firefly_mbus.dir/mbus/interrupts.cc.o" "gcc" "src/CMakeFiles/firefly_mbus.dir/mbus/interrupts.cc.o.d"
+  "/root/repo/src/mbus/mbus.cc" "src/CMakeFiles/firefly_mbus.dir/mbus/mbus.cc.o" "gcc" "src/CMakeFiles/firefly_mbus.dir/mbus/mbus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/firefly_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

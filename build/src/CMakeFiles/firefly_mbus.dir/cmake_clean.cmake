@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_mbus.dir/mbus/interrupts.cc.o"
+  "CMakeFiles/firefly_mbus.dir/mbus/interrupts.cc.o.d"
+  "CMakeFiles/firefly_mbus.dir/mbus/mbus.cc.o"
+  "CMakeFiles/firefly_mbus.dir/mbus/mbus.cc.o.d"
+  "libfirefly_mbus.a"
+  "libfirefly_mbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_mbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

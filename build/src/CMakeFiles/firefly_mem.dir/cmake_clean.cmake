@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_mem.dir/mem/main_memory.cc.o"
+  "CMakeFiles/firefly_mem.dir/mem/main_memory.cc.o.d"
+  "CMakeFiles/firefly_mem.dir/mem/memory_module.cc.o"
+  "CMakeFiles/firefly_mem.dir/mem/memory_module.cc.o.d"
+  "CMakeFiles/firefly_mem.dir/mem/sparse_memory.cc.o"
+  "CMakeFiles/firefly_mem.dir/mem/sparse_memory.cc.o.d"
+  "libfirefly_mem.a"
+  "libfirefly_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/firefly_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/firefly_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/firefly_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/firefly_sim.dir/sim/random.cc.o"
+  "CMakeFiles/firefly_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/firefly_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/firefly_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/firefly_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/firefly_sim.dir/sim/stats.cc.o.d"
+  "libfirefly_sim.a"
+  "libfirefly_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_system.dir/firefly/config.cc.o"
+  "CMakeFiles/firefly_system.dir/firefly/config.cc.o.d"
+  "CMakeFiles/firefly_system.dir/firefly/system.cc.o"
+  "CMakeFiles/firefly_system.dir/firefly/system.cc.o.d"
+  "libfirefly_system.a"
+  "libfirefly_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

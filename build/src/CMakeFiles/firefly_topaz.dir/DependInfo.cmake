@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topaz/arena.cc" "src/CMakeFiles/firefly_topaz.dir/topaz/arena.cc.o" "gcc" "src/CMakeFiles/firefly_topaz.dir/topaz/arena.cc.o.d"
+  "/root/repo/src/topaz/behavior.cc" "src/CMakeFiles/firefly_topaz.dir/topaz/behavior.cc.o" "gcc" "src/CMakeFiles/firefly_topaz.dir/topaz/behavior.cc.o.d"
+  "/root/repo/src/topaz/rpc.cc" "src/CMakeFiles/firefly_topaz.dir/topaz/rpc.cc.o" "gcc" "src/CMakeFiles/firefly_topaz.dir/topaz/rpc.cc.o.d"
+  "/root/repo/src/topaz/runtime.cc" "src/CMakeFiles/firefly_topaz.dir/topaz/runtime.cc.o" "gcc" "src/CMakeFiles/firefly_topaz.dir/topaz/runtime.cc.o.d"
+  "/root/repo/src/topaz/scheduler.cc" "src/CMakeFiles/firefly_topaz.dir/topaz/scheduler.cc.o" "gcc" "src/CMakeFiles/firefly_topaz.dir/topaz/scheduler.cc.o.d"
+  "/root/repo/src/topaz/workloads.cc" "src/CMakeFiles/firefly_topaz.dir/topaz/workloads.cc.o" "gcc" "src/CMakeFiles/firefly_topaz.dir/topaz/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/firefly_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_mbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

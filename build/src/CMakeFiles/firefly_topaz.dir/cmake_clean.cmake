@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_topaz.dir/topaz/arena.cc.o"
+  "CMakeFiles/firefly_topaz.dir/topaz/arena.cc.o.d"
+  "CMakeFiles/firefly_topaz.dir/topaz/behavior.cc.o"
+  "CMakeFiles/firefly_topaz.dir/topaz/behavior.cc.o.d"
+  "CMakeFiles/firefly_topaz.dir/topaz/rpc.cc.o"
+  "CMakeFiles/firefly_topaz.dir/topaz/rpc.cc.o.d"
+  "CMakeFiles/firefly_topaz.dir/topaz/runtime.cc.o"
+  "CMakeFiles/firefly_topaz.dir/topaz/runtime.cc.o.d"
+  "CMakeFiles/firefly_topaz.dir/topaz/scheduler.cc.o"
+  "CMakeFiles/firefly_topaz.dir/topaz/scheduler.cc.o.d"
+  "CMakeFiles/firefly_topaz.dir/topaz/workloads.cc.o"
+  "CMakeFiles/firefly_topaz.dir/topaz/workloads.cc.o.d"
+  "libfirefly_topaz.a"
+  "libfirefly_topaz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_topaz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

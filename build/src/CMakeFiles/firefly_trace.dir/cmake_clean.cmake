@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/firefly_trace.dir/trace/trace.cc.o.d"
+  "libfirefly_trace.a"
+  "libfirefly_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_property_test.dir/coherence_property_test.cc.o"
+  "CMakeFiles/coherence_property_test.dir/coherence_property_test.cc.o.d"
+  "coherence_property_test"
+  "coherence_property_test.pdb"
+  "coherence_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_display_test.dir/color_display_test.cc.o"
+  "CMakeFiles/color_display_test.dir/color_display_test.cc.o.d"
+  "color_display_test"
+  "color_display_test.pdb"
+  "color_display_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_display_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

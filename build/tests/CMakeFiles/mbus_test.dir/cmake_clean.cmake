@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbus_test.dir/mbus_test.cc.o"
+  "CMakeFiles/mbus_test.dir/mbus_test.cc.o.d"
+  "mbus_test"
+  "mbus_test.pdb"
+  "mbus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

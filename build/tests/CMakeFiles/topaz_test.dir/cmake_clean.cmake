@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topaz_test.dir/topaz_test.cc.o"
+  "CMakeFiles/topaz_test.dir/topaz_test.cc.o.d"
+  "topaz_test"
+  "topaz_test.pdb"
+  "topaz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topaz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
