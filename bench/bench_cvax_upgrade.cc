@@ -54,6 +54,7 @@ run(MachineVersion version, unsigned cpus,
     }
     sys.attachSyntheticWorkload(workload);
     sys.run(seconds);
+    bench::exportStats(sys.stats());
 
     double instrs = 0, miss = 0, stale = 0;
     for (unsigned i = 0; i < cpus; ++i) {

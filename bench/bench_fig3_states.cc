@@ -198,6 +198,7 @@ experiment()
         const LineState observed = rig.state(rig.c0);
         const bool ok = observed == t.expected;
         failures += !ok;
+        bench::exportStats(rig.c0.stats());
         std::printf("%-9s %-34s %-15s %-9s %-9s %s\n",
                     toString(t.from), t.operation.c_str(),
                     t.condition.c_str(), toString(t.expected),

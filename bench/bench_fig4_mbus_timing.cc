@@ -59,6 +59,7 @@ traceTransaction(ProtocolKind kind, bool make_shared, bool is_write)
     blocking(initiator,
              {addr, is_write ? RefType::DataWrite : RefType::DataRead,
               0xbeef});
+    bench::exportStats(bus.stats());
     return lines;
 }
 

@@ -58,6 +58,7 @@ run(bool saturate_io, unsigned cpus = 4, double seconds = 0.1)
         inject();
 
     sys.run(seconds);
+    bench::exportStats(sys.stats());
 
     double instrs = 0;
     for (unsigned i = 0; i < cpus; ++i)

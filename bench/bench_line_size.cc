@@ -40,6 +40,7 @@ run(Addr line_bytes, unsigned cpus, double seconds = 0.1)
     FireflySystem sys(cfg);
     sys.attachSyntheticWorkload(SyntheticConfig{});
     sys.run(seconds);
+    bench::exportStats(sys.stats());
 
     double miss = 0, tpi = 0, instrs = 0;
     for (unsigned i = 0; i < cpus; ++i) {

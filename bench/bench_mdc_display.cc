@@ -142,6 +142,7 @@ experiment()
         const double ms = (rig.sim.now() - start) * 100e-9 * 1e3;
         std::printf("Full-screen scroll by one text row: %.1f ms\n",
                     ms);
+        bench::exportStats(rig.mdc.stats());
     }
 }
 

@@ -56,6 +56,7 @@ run(SchedulerPolicy policy, ProtocolKind protocol)
         sources.push_back(&runtime.port(i));
     sys.attachSources(sources);
     sys.runToCompletion(40'000'000);
+    bench::exportStats(sys.stats());
 
     double wt_shared = 0;
     for (unsigned i = 0; i < 4; ++i)

@@ -57,6 +57,7 @@ run(ProtocolKind kind, unsigned cpus, double shared_write_frac,
     }
     sys.attachSyntheticWorkload(workload);
     sys.run(seconds);
+    bench::exportStats(sys.stats());
 
     double tpi = 0, instrs = 0, invals = 0;
     for (unsigned i = 0; i < cpus; ++i) {

@@ -47,6 +47,7 @@ run(unsigned threads, double seconds = 1.0)
     RpcEngine rpc(sim, qbus, nic, cfg);
     rpc.start();
     sim.run(secondsToCycles(seconds));
+    bench::exportStats(rpc.stats());
     return {rpc.bandwidthMbps(), rpc.averageOutstanding(),
             rpc.callsCompleted.value() / seconds};
 }

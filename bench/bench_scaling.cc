@@ -7,10 +7,15 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "analytic/queueing_model.hh"
 #include "bench_util.hh"
 #include "firefly/system.hh"
+#include "obs/stat_sampler.hh"
+#include "topaz/runtime.hh"
+#include "topaz/workloads.hh"
 
 using namespace firefly;
 
@@ -29,6 +34,12 @@ struct SimPoint
 SimPoint
 simulate(unsigned np, double seconds = 0.12)
 {
+    // The sweep simulates 1.2 s of machine time across ten
+    // configurations; tracing it would swamp the recorded file (the
+    // flight-recorder run below is the tracing target), so mute the
+    // sink for the sweep's duration.
+    obs::ScopedTraceSink mute(nullptr);
+
     FireflySystem sys(FireflyConfig::microVax(np));
     sys.attachSyntheticWorkload(SyntheticConfig{});
     sys.run(seconds);
@@ -46,6 +57,56 @@ simulate(unsigned np, double seconds = 0.12)
     const double nowait_ips = 1.0 / (microVaxBaseTpi * 200e-9);
     return {sys.busLoad(), tpi, microVaxBaseTpi / tpi,
             total_ips / nowait_ips, miss_sum / np};
+}
+
+/**
+ * The flight-recorder run: a five-CPU machine driving the Topaz
+ * Threads exerciser, so the recorded trace carries every subsystem -
+ * MBus transactions, cache line transitions, CPU stalls, and
+ * scheduler dispatch/ready/migrate - and --stats-json captures the
+ * full Table-2 stat tree.  Only runs when observability output was
+ * requested; the printed experiment above is unchanged either way.
+ */
+void
+observedRun()
+{
+    const unsigned cpus = 5;
+    FireflySystem sys(FireflyConfig::microVax(cpus));
+    TopazConfig tc;
+    tc.cpus = cpus;
+    TopazRuntime runtime(tc);
+    ExerciserParams params;
+    params.threads = 16;
+    params.iterations = 10;
+    buildThreadsExerciser(runtime, params);
+
+    std::vector<RefSource *> sources;
+    for (unsigned i = 0; i < cpus; ++i)
+        sources.push_back(&runtime.port(i));
+    sys.attachSources(sources);
+
+    // Bus-utilisation- and miss-rate-vs-time, sampled every 10k
+    // cycles (1 ms simulated).
+    obs::StatSampler sampler(sys.simulator(), 10'000);
+    sampler.addStat(sys.bus().stats(), "busy_cycles",
+                    obs::StatSampler::Mode::Delta, "bus.busy");
+    sampler.addStat(sys.cache(0).stats(), "fills",
+                    obs::StatSampler::Mode::Delta, "cache0.fills");
+    sampler.addStat(sys.cache(0).stats(), "miss_rate");
+
+    sys.runToCompletion(20'000'000);
+
+    std::printf("\nObserved run (5 CPUs, Threads exerciser): "
+                "%.3f ms simulated, bus load %.2f, %zu samples\n",
+                sys.seconds() * 1e3, sys.busLoad(),
+                sampler.sampleCount());
+
+    bench::exportStats(sys.stats());
+    const std::string &json = bench::obsOptions().statsJsonPath;
+    if (!json.empty()) {
+        std::ofstream csv(json + ".timeseries.csv");
+        sampler.writeCsv(csv);
+    }
 }
 
 void
@@ -77,6 +138,9 @@ experiment()
     std::printf("Five-CPU machine (paper: L~0.4, RP~0.85, TP>4): "
                 "simulated L=%.2f RP=%.2f TP=%.2f\n",
                 five.load, five.rp, five.tp);
+
+    if (bench::obsOptions().observing())
+        observedRun();
 }
 
 void

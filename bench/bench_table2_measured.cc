@@ -63,6 +63,7 @@ runExerciser(unsigned cpus)
         sources.push_back(&runtime.port(i));
     sys.attachSources(sources);
     sys.runToCompletion(20'000'000);  // at most 2 simulated seconds
+    bench::exportStats(sys.stats());
 
     const double secs = sys.seconds();
     double reads = 0, writes = 0, fills = 0, wt_sh = 0, wt_no = 0,

@@ -7,6 +7,20 @@
  * numbers next to the model's/simulator's, so the shape comparison is
  * immediate.  Passing --gbench additionally runs any registered
  * google-benchmark microbenchmarks (simulator speed measurements).
+ *
+ * Observability options, understood by every bench binary:
+ *
+ *   --stats-json=FILE    write the headline system's full StatGroup
+ *                        tree as JSON (StatGroup::dumpJson)
+ *   --trace-out=FILE     record a Chrome trace-event JSON file of the
+ *                        whole run (load it at ui.perfetto.dev)
+ *   --debug-flags=A,B    enable debug-trace categories (MBus, Cache,
+ *                        Cpu, Dma, Sched, Rpc) printed to stderr
+ *
+ * runBenchMain() parses these, attaches the sinks around the
+ * experiment, and flushes/finalises them afterwards.  Experiments
+ * honour --stats-json by calling bench::exportStats(sys.stats()) on
+ * their headline system (the last call wins).
  */
 
 #ifndef FIREFLY_BENCH_BENCH_UTIL_HH
@@ -16,10 +30,103 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
+
+#include "obs/chrome_trace.hh"
+#include "obs/text_trace.hh"
+#include "obs/trace.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace firefly::bench
 {
+
+/** Observability options shared by every bench binary. */
+struct ObsOptions
+{
+    std::string statsJsonPath;  ///< --stats-json=FILE
+    std::string traceOutPath;   ///< --trace-out=FILE
+    std::string debugFlags;     ///< --debug-flags=MBus,Cache,...
+
+    /** True if any observability output was requested. */
+    bool
+    observing() const
+    {
+        return !statsJsonPath.empty() || !traceOutPath.empty() ||
+               !debugFlags.empty();
+    }
+};
+
+inline ObsOptions &
+obsOptions()
+{
+    static ObsOptions opts;
+    return opts;
+}
+
+/**
+ * Write `root`'s full stat tree to the --stats-json file.  A no-op
+ * when the option was not given.  Benches call this on the system
+ * whose numbers headline the experiment; if several systems are
+ * simulated the last exported one lands in the file.
+ */
+inline void
+exportStats(const StatGroup &root)
+{
+    const std::string &path = obsOptions().statsJsonPath;
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write stats JSON to %s\n",
+                     path.c_str());
+        return;
+    }
+    root.dumpJson(os);
+}
+
+/**
+ * RAII bundle of the sinks requested on the command line, attached
+ * process-wide for its lifetime.  Built once by runBenchMain around
+ * the experiment so a sweep of several simulated machines lands in
+ * one concatenated trace file.
+ */
+class Observation
+{
+  public:
+    Observation()
+    {
+        const ObsOptions &opts = obsOptions();
+        if (!opts.traceOutPath.empty())
+            chrome = std::make_unique<obs::ChromeTraceSink>(
+                opts.traceOutPath);
+        if (anyDebugFlagsSet())
+            text = std::make_unique<obs::TextTraceSink>();
+
+        obs::TraceSink *sink = nullptr;
+        if (chrome && text) {
+            tee = std::make_unique<obs::TeeSink>();
+            tee->add(chrome.get());
+            tee->add(text.get());
+            sink = tee.get();
+        } else if (chrome) {
+            sink = chrome.get();
+        } else if (text) {
+            sink = text.get();
+        }
+        if (sink)
+            scoped.emplace(sink);
+    }
+
+  private:
+    std::unique_ptr<obs::ChromeTraceSink> chrome;
+    std::unique_ptr<obs::TextTraceSink> text;
+    std::unique_ptr<obs::TeeSink> tee;
+    std::optional<obs::ScopedTraceSink> scoped;
+};
 
 /** Print the experiment banner. */
 inline void
@@ -38,19 +145,33 @@ rule()
 }
 
 /**
- * Standard main body: run the experiment, then google-benchmark if
+ * Standard main body: parse the observability options, run the
+ * experiment under the requested sinks, then google-benchmark if
  * requested.  Returns the process exit code.
  */
 inline int
 runBenchMain(int argc, char **argv, void (*experiment)())
 {
     bool gbench = false;
+    ObsOptions &opts = obsOptions();
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--gbench") == 0)
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--gbench") == 0)
             gbench = true;
+        else if (std::strncmp(arg, "--stats-json=", 13) == 0)
+            opts.statsJsonPath = arg + 13;
+        else if (std::strncmp(arg, "--trace-out=", 12) == 0)
+            opts.traceOutPath = arg + 12;
+        else if (std::strncmp(arg, "--debug-flags=", 14) == 0)
+            opts.debugFlags = arg + 14;
     }
+    if (!opts.debugFlags.empty())
+        setDebugFlags(opts.debugFlags);
 
-    experiment();
+    {
+        Observation observation;
+        experiment();
+    }
 
     if (gbench) {
         benchmark::Initialize(&argc, argv);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -173,6 +174,21 @@ Cache::sharedFraction() const
 }
 
 void
+Cache::traceLine(Addr line_base, LineState old_state,
+                 LineState new_state, const char *cause)
+{
+    if (old_state == new_state)
+        return;
+    if (auto *ts = obs::traceSink()) {
+        ts->instant(sim.now(), obs::kCatCache, _name,
+                    std::string(toString(old_state)) + "->" +
+                        toString(new_state),
+                    {{"addr", obs::hexAddr(line_base)},
+                     {"cause", cause}});
+    }
+}
+
+void
 Cache::countRef(const MemRef &ref, bool hit)
 {
     switch (ref.type) {
@@ -203,7 +219,9 @@ Cache::tryFastPath(const MemRef &ref, Word &out)
     if (proto->writeHit(line) == WriteHitAction::Silent) {
         countRef(ref, true);
         writeWord(line, ref.addr, ref.value);
+        const LineState old = line.state;
         line.state = LineState::Dirty;
+        traceLine(line.base, old, line.state, "write-hit");
         out = 0;
         return true;
     }
@@ -353,11 +371,14 @@ void
 Cache::applyWriteHit(CacheLine &line, const MemRef &ref)
 {
     switch (proto->writeHit(line)) {
-      case WriteHitAction::Silent:
+      case WriteHitAction::Silent: {
         writeWord(line, ref.addr, ref.value);
+        const LineState old = line.state;
         line.state = LineState::Dirty;
+        traceLine(line.base, old, line.state, "write-hit");
         finishHead(0);
         break;
+      }
       case WriteHitAction::WriteThrough:
         issueWriteThrough(ref, true, Stage::WriteThrough,
                           MBusOpKind::WriteThrough);
@@ -479,7 +500,14 @@ Cache::snoopComplete(const MBusTransaction &txn)
     if (!line.valid() || !tagMatch(line, txn.addr))
         return;
     const bool was_valid = line.valid();
+    const LineState old = line.state;
     proto->snoopApply(line, txn, _lineWords);
+    static const char *snoop_causes[4] = {
+        "snoop-read", "snoop-write", "snoop-read-owned",
+        "snoop-invalidate"
+    };
+    traceLine(line.base, old, line.state,
+              snoop_causes[static_cast<int>(txn.type)]);
     if (was_valid && !line.valid()) {
         ++invalidationsReceived;
     } else if (txn.type == MBusOpType::MWrite && line.valid()) {
@@ -499,7 +527,10 @@ Cache::transactionDone(const MBusTransaction &txn)
     switch (p.stage) {
       case Stage::VictimWrite: {
         ++victimWrites;
-        lineFor(p.ref.addr).state = LineState::Invalid;
+        CacheLine &victim = lineFor(p.ref.addr);
+        const LineState old = victim.state;
+        victim.state = LineState::Invalid;
+        traceLine(victim.base, old, victim.state, "victim-writeback");
         p.stage = Stage::Start;
         dispatchHead();
         break;
@@ -508,10 +539,14 @@ Cache::transactionDone(const MBusTransaction &txn)
       case Stage::Fill: {
         ++fills;
         CacheLine &line = lineFor(p.ref.addr);
+        if (line.valid() && line.base != lineBaseOf(p.ref.addr))
+            traceLine(line.base, line.state, LineState::Invalid,
+                      "evicted-clean");
         line.base = lineBaseOf(p.ref.addr);
         for (unsigned i = 0; i < _lineWords; ++i)
             line.data[i] = txn.data[i];
         line.state = proto->fillState(txn.mshared);
+        traceLine(line.base, LineState::Invalid, line.state, "fill");
         if (!isWrite(p.ref.type))
             finishHead(readWord(line, p.ref.addr));
         else
@@ -522,11 +557,16 @@ Cache::transactionDone(const MBusTransaction &txn)
       case Stage::ReadOwned: {
         ++fills;
         CacheLine &line = lineFor(p.ref.addr);
+        if (line.valid() && line.base != lineBaseOf(p.ref.addr))
+            traceLine(line.base, line.state, LineState::Invalid,
+                      "evicted-clean");
         line.base = lineBaseOf(p.ref.addr);
         for (unsigned i = 0; i < _lineWords; ++i)
             line.data[i] = txn.data[i];
         writeWord(line, p.ref.addr, p.ref.value);
         line.state = proto->ownedState();
+        traceLine(line.base, LineState::Invalid, line.state,
+                  "read-owned");
         finishHead(0);
         break;
       }
@@ -538,13 +578,20 @@ Cache::transactionDone(const MBusTransaction &txn)
             ++wtNoMshared;
         CacheLine &line = lineFor(p.ref.addr);
         if (p.installOnWriteThrough) {
+            if (line.valid() && line.base != lineBaseOf(p.ref.addr))
+                traceLine(line.base, line.state, LineState::Invalid,
+                          "evicted-clean");
             line.base = lineBaseOf(p.ref.addr);
             line.data.fill(0);
             writeWord(line, p.ref.addr, p.ref.value);
             line.state = proto->afterWriteThrough(txn.mshared);
+            traceLine(line.base, LineState::Invalid, line.state,
+                      "write-allocate-through");
         } else if (line.valid() && tagMatch(line, p.ref.addr)) {
             writeWord(line, p.ref.addr, p.ref.value);
+            const LineState old = line.state;
             line.state = proto->afterWriteThrough(txn.mshared);
+            traceLine(line.base, old, line.state, "write-through");
         }
         finishHead(0);
         break;
@@ -555,7 +602,9 @@ Cache::transactionDone(const MBusTransaction &txn)
         CacheLine &line = lineFor(p.ref.addr);
         if (line.valid() && tagMatch(line, p.ref.addr)) {
             writeWord(line, p.ref.addr, p.ref.value);
+            const LineState old = line.state;
             line.state = proto->afterWriteThrough(txn.mshared);
+            traceLine(line.base, old, line.state, "update");
         }
         finishHead(0);
         break;
@@ -566,7 +615,9 @@ Cache::transactionDone(const MBusTransaction &txn)
         CacheLine &line = lineFor(p.ref.addr);
         if (line.valid() && tagMatch(line, p.ref.addr)) {
             writeWord(line, p.ref.addr, p.ref.value);
+            const LineState old = line.state;
             line.state = proto->ownedState();
+            traceLine(line.base, old, line.state, "invalidate");
             finishHead(0);
         } else {
             // We lost an ownership race: another cache invalidated
@@ -586,8 +637,11 @@ Cache::transactionDone(const MBusTransaction &txn)
         CacheLine &line = lineFor(p.ref.addr);
         if (line.valid() && tagMatch(line, p.ref.addr)) {
             writeWord(line, p.ref.addr, p.ref.value);
-            if (!(line.state == LineState::Dirty && _lineWords > 1))
+            if (!(line.state == LineState::Dirty && _lineWords > 1)) {
+                const LineState old = line.state;
                 line.state = proto->afterWriteThrough(txn.mshared);
+                traceLine(line.base, old, line.state, "dma-write");
+            }
         }
         finishHead(0);
         break;

@@ -167,6 +167,11 @@ class Cache : public MBusClient
     /** Record a CPU reference in the stat counters. */
     void countRef(const MemRef &ref, bool hit);
 
+    /** Emit a line state-transition trace event (old -> new, cause).
+     *  A no-op unless a sink is attached and the state changed. */
+    void traceLine(Addr line_base, LineState old_state,
+                   LineState new_state, const char *cause);
+
     /** Try to satisfy a CPU access without the bus.  True if done. */
     bool tryFastPath(const MemRef &ref, Word &out);
 

@@ -1,5 +1,6 @@
 #include "cpu/trace_cpu.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -65,6 +66,8 @@ TraceCpu::issue(Cycle now)
           case CpuStep::Kind::Halt:
             _halted = true;
             hasPending = false;
+            if (auto *ts = obs::traceSink())
+                ts->instant(sim.now(), obs::kCatCpu, _name, "halt");
             return;
 
           case CpuStep::Kind::Compute:
@@ -89,6 +92,8 @@ TraceCpu::issue(Cycle now)
             const auto result = cache.cpuAccess(
                 issued, [this, issued](Word data) {
                     waitingForMem = false;
+                    if (auto *ts = obs::traceSink())
+                        ts->end(sim.now(), obs::kCatCpu, _name);
                     // Pipeline restart after the bus completion: +1
                     // tick on the MicroVAX (the paper's one-tick miss
                     // penalty), +2 CVAX ticks (misses add 400 ns).
@@ -111,6 +116,14 @@ TraceCpu::issue(Cycle now)
               case Cache::AccessOutcome::Pending:
                 waitingForMem = true;
                 hasPending = false;
+                // The stall renders as a slice on the CPU track from
+                // issue to the cache's completion callback.
+                if (auto *ts = obs::traceSink()) {
+                    ts->begin(sim.now(), obs::kCatCpu, _name, "stall",
+                              {{"addr", obs::hexAddr(issued.addr)},
+                               {"write",
+                                isWrite(issued.type) ? "1" : "0"}});
+                }
                 return;
             }
             return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -81,6 +82,20 @@ DmaEngine::pump()
     }
     wordInFlight = true;
     Request &req = requests.front();
+
+    // Requests are served FIFO and whole, so each renders as one
+    // contiguous slice on the DMA track, first word to last callback.
+    if (!req.serviceTraced) {
+        req.serviceTraced = true;
+        if (auto *ts = obs::traceSink()) {
+            ts->begin(sim.now(), obs::kCatDma, statGroup.name(),
+                      req.isWrite ? "dma-write" : "dma-read",
+                      {{"addr", obs::hexAddr(req.addr)},
+                       {"words",
+                        std::to_string(req.isWrite ? req.data.size()
+                                                   : req.remaining)}});
+        }
+    }
 
     // One word now; the next word starts `pacing` cycles after this
     // one was issued (the QBus word cycle covers the transfer).

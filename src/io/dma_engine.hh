@@ -69,6 +69,7 @@ class DmaEngine
         std::vector<Word> data;  ///< write source / read accumulator
         ReadCallback readDone;
         WriteCallback writeDone;
+        bool serviceTraced = false;  ///< begin event already emitted
     };
 
     void pump();

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -114,6 +115,13 @@ MBus::request(const MBusTransaction &txn)
                       txn.initiator->busClientName().c_str());
             }
             pending[i] = PendingRequest{txn, sim.now()};
+            if (auto *ts = obs::traceSink()) {
+                ts->instant(sim.now(), obs::kCatMBus,
+                            statGroup.name(), "request",
+                            {{"op", toString(txn.type)},
+                             {"addr", obs::hexAddr(txn.addr)},
+                             {"by", txn.initiator->busClientName()}});
+            }
             return;
         }
     }
@@ -158,12 +166,24 @@ MBus::tick(Cycle now)
             phaseCycle = 0;
             suppliers.clear();
             ++busyCycleCount;
-            std::ostringstream os;
-            os << toString(active->type) << " 0x" << std::hex
-               << active->addr << std::dec << " ("
-               << toString(active->kind) << ") by "
-               << active->initiator->busClientName();
-            trace(now, "arb+addr", os.str());
+            if (traceHook) {
+                std::ostringstream os;
+                os << toString(active->type) << " 0x" << std::hex
+                   << active->addr << std::dec << " ("
+                   << toString(active->kind) << ") by "
+                   << active->initiator->busClientName();
+                trace(now, "arb+addr", os.str());
+            }
+            if (auto *ts = obs::traceSink()) {
+                // The whole transaction renders as one slice on the
+                // bus track, grant (address cycle) to completion.
+                ts->begin(now, obs::kCatMBus, statGroup.name(),
+                          std::string(toString(active->type)) + " " +
+                              obs::hexAddr(active->addr),
+                          {{"kind", toString(active->kind)},
+                           {"by",
+                            active->initiator->busClientName()}});
+            }
             return;
         }
         return;  // idle cycle
@@ -180,6 +200,13 @@ MBus::tick(Cycle now)
     } else if (phaseCycle == 2) {
         trace(now, "mshared",
               active->mshared ? "MShared asserted" : "MShared clear");
+        if (active->mshared) {
+            if (auto *ts = obs::traceSink()) {
+                ts->instant(now, obs::kCatMBus, statGroup.name(),
+                            "MShared",
+                            {{"addr", obs::hexAddr(active->addr)}});
+            }
+        }
     } else {
         const unsigned burst = phaseCycle - 3;
         dataPhase(burst);
@@ -262,6 +289,15 @@ MBus::completeTransaction()
     // immediately queue a follow-on request (victim write -> fill).
     MBusTransaction txn = *active;
     active.reset();
+
+    if (auto *ts = obs::traceSink()) {
+        ts->end(sim.now(), obs::kCatMBus, statGroup.name());
+        if (txn.suppliedByCache) {
+            ts->instant(sim.now(), obs::kCatMBus, statGroup.name(),
+                        "cache-supplied",
+                        {{"addr", obs::hexAddr(txn.addr)}});
+        }
+    }
 
     ++opCount[static_cast<int>(txn.type)];
     ++kindCount[static_cast<int>(txn.kind)];

@@ -1,0 +1,61 @@
+#include "obs/text_trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace firefly::obs
+{
+
+TextTraceSink::TextTraceSink() : out(nullptr)
+{
+}
+
+TextTraceSink::TextTraceSink(std::ostream &os) : out(&os)
+{
+}
+
+void
+TextTraceSink::event(const TraceEvent &ev)
+{
+    if (!debugFlagSet(ev.category))
+        return;
+    ++lines;
+
+    std::ostringstream line;
+    line << "[" << ev.category << "] " << ev.when << " " << ev.track
+         << ": ";
+    if (ev.kind == EventKind::Begin)
+        line << "begin ";
+    else if (ev.kind == EventKind::End)
+        line << (ev.name.empty() ? "end" : "end ");
+    line << ev.name;
+    if (!ev.args.empty()) {
+        line << " (";
+        bool first = true;
+        for (const auto &[key, value] : ev.args) {
+            if (!first)
+                line << " ";
+            first = false;
+            line << key << "=" << value;
+        }
+        line << ")";
+    }
+    line << "\n";
+
+    if (out)
+        *out << line.str();
+    else
+        std::fputs(line.str().c_str(), stderr);
+}
+
+void
+TextTraceSink::flush()
+{
+    if (out)
+        out->flush();
+}
+
+} // namespace firefly::obs

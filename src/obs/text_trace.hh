@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Human-readable text sink, gated by the debug-trace flags.
+ *
+ * This is what finally drives the sim/logging.hh flag machinery: an
+ * event is printed only if its category's flag is enabled (via
+ * setDebugFlags("MBus,Cache"), a bench's --debug-flags option, or the
+ * FIREFLY_DEBUG environment variable).  Output looks like
+ *
+ *     [Cache] 1204 cache0: line 0x1f40 Shared->Dirty (write-hit)
+ *
+ * i.e. flag, cycle, track, event, detail - greppable and diffable.
+ */
+
+#ifndef FIREFLY_OBS_TEXT_TRACE_HH
+#define FIREFLY_OBS_TEXT_TRACE_HH
+
+#include <ostream>
+
+#include "obs/trace.hh"
+
+namespace firefly::obs
+{
+
+/** Prints flag-enabled events as text lines (default: stderr). */
+class TextTraceSink : public TraceSink
+{
+  public:
+    /** Write to stderr. */
+    TextTraceSink();
+    /** Write to a caller-owned stream. */
+    explicit TextTraceSink(std::ostream &os);
+
+    void event(const TraceEvent &ev) override;
+    void flush() override;
+
+    std::uint64_t linesPrinted() const { return lines; }
+
+  private:
+    std::ostream *out;  ///< nullptr = stderr via std::fputs
+    std::uint64_t lines = 0;
+};
+
+} // namespace firefly::obs
+
+#endif // FIREFLY_OBS_TEXT_TRACE_HH

@@ -11,6 +11,33 @@ namespace
 {
 
 std::set<std::string> debugFlags;
+bool envParsed = false;
+
+/** Insert each nonempty comma-separated token of `list`. */
+void
+insertFlagList(const std::string &list)
+{
+    std::string::size_type start = 0;
+    while (start <= list.size()) {
+        auto end = list.find(',', start);
+        if (end == std::string::npos)
+            end = list.size();
+        if (end > start)
+            debugFlags.insert(list.substr(start, end - start));
+        start = end + 1;
+    }
+}
+
+/** Fold FIREFLY_DEBUG into the flag set, once, at first use. */
+void
+ensureEnvParsed()
+{
+    if (envParsed)
+        return;
+    envParsed = true;
+    if (const char *env = std::getenv("FIREFLY_DEBUG"))
+        insertFlagList(env);
+}
 
 void
 vreport(const char *prefix, const char *fmt, va_list args)
@@ -63,16 +90,39 @@ inform(const char *fmt, ...)
 void
 setDebugFlag(const std::string &flag, bool enable)
 {
+    ensureEnvParsed();
     if (enable)
         debugFlags.insert(flag);
     else
         debugFlags.erase(flag);
 }
 
+void
+setDebugFlags(const std::string &comma_list)
+{
+    ensureEnvParsed();
+    insertFlagList(comma_list);
+}
+
 bool
 debugFlagSet(const std::string &flag)
 {
+    ensureEnvParsed();
     return debugFlags.count(flag) != 0;
+}
+
+bool
+anyDebugFlagsSet()
+{
+    ensureEnvParsed();
+    return !debugFlags.empty();
+}
+
+void
+resetDebugFlagsForTest()
+{
+    debugFlags.clear();
+    envParsed = false;
 }
 
 void

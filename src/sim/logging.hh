@@ -31,11 +31,26 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Enable a named debug-trace flag (e.g. "MBus", "Cache", "Topaz"). */
+/** Enable a named debug-trace flag (e.g. "MBus", "Cache", "Sched"). */
 void setDebugFlag(const std::string &flag, bool enable = true);
 
-/** Query a debug-trace flag. */
+/** Enable every flag in a comma-separated list ("MBus,Cache,Dma"). */
+void setDebugFlags(const std::string &comma_list);
+
+/**
+ * Query a debug-trace flag.  On first use the FIREFLY_DEBUG
+ * environment variable (a comma-separated flag list) is folded in,
+ * so any binary can be traced without per-tool flag plumbing:
+ *
+ *     FIREFLY_DEBUG=MBus,Cache build/bench/bench_scaling
+ */
 bool debugFlagSet(const std::string &flag);
+
+/** True if any flag is enabled (set programmatically or via env). */
+bool anyDebugFlagsSet();
+
+/** Test hook: clear all flags and re-read FIREFLY_DEBUG on next use. */
+void resetDebugFlagsForTest();
 
 /** Emit a trace line if the flag is enabled. */
 void debugPrintf(const std::string &flag, const char *fmt, ...)

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -17,6 +18,9 @@ Simulator::addClocked(Clocked *c, Phase phase)
 void
 Simulator::stepOneCycle()
 {
+    // Publish the cycle for trace emitters that have no Simulator
+    // reference (obs::traceNow); a single word store per cycle.
+    obs::publishTraceNow(_now);
     _events.runUntil(_now);
     for (auto &phase : phases) {
         for (auto *c : phase)

@@ -1,12 +1,24 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <iomanip>
 
 #include "sim/logging.hh"
 
 namespace firefly
 {
+
+std::string
+statNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, res.ptr);
+}
 
 void
 Accumulator::sample(double v)
@@ -172,6 +184,89 @@ StatGroup::dump(std::ostream &os, int indent) const
     }
     for (const auto *child : children)
         child->dump(os, indent + 1);
+}
+
+namespace
+{
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string pad(indent * 2, ' ');
+    const std::string in(indent * 2 + 2, ' ');
+    os << "{\n" << in << "\"name\": " << jsonString(_name);
+
+    if (!counters.empty()) {
+        os << ",\n" << in << "\"counters\": {";
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            os << (i ? ", " : "") << jsonString(counters[i].name)
+               << ": " << counters[i].stat->value();
+        }
+        os << "}";
+    }
+    if (!accums.empty()) {
+        os << ",\n" << in << "\"accumulators\": {";
+        for (std::size_t i = 0; i < accums.size(); ++i) {
+            const Accumulator &a = *accums[i].stat;
+            os << (i ? ", " : "") << jsonString(accums[i].name)
+               << ": {\"count\": " << a.count()
+               << ", \"sum\": " << statNumber(a.sum())
+               << ", \"mean\": " << statNumber(a.mean())
+               << ", \"min\": " << statNumber(a.min())
+               << ", \"max\": " << statNumber(a.max()) << "}";
+        }
+        os << "}";
+    }
+    if (!hists.empty()) {
+        os << ",\n" << in << "\"histograms\": {";
+        for (std::size_t i = 0; i < hists.size(); ++i) {
+            const Histogram &h = *hists[i].stat;
+            os << (i ? ", " : "") << jsonString(hists[i].name)
+               << ": {\"bucket_width\": " << statNumber(h.bucketWidth())
+               << ", \"count\": " << h.count()
+               << ", \"mean\": " << statNumber(h.mean())
+               << ", \"overflow\": " << h.overflow()
+               << ", \"buckets\": [";
+            for (unsigned b = 0; b < h.bucketCount(); ++b)
+                os << (b ? ", " : "") << h.bucket(b);
+            os << "]}";
+        }
+        os << "}";
+    }
+    if (!formulas.empty()) {
+        os << ",\n" << in << "\"formulas\": {";
+        for (std::size_t i = 0; i < formulas.size(); ++i) {
+            os << (i ? ", " : "") << jsonString(formulas[i].name)
+               << ": " << statNumber(formulas[i].fn());
+        }
+        os << "}";
+    }
+    if (!children.empty()) {
+        os << ",\n" << in << "\"children\": [";
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            os << (i ? ", " : "");
+            children[i]->dumpJson(os, indent + 1);
+        }
+        os << "]";
+    }
+    os << "\n" << pad << "}";
+    if (indent == 0)
+        os << "\n";
 }
 
 } // namespace firefly

@@ -24,6 +24,14 @@ namespace firefly
 
 class StatGroup;
 
+/**
+ * Render a stat value for machine-readable output: shortest
+ * round-trip decimal form ("0.25", not "0.250000000000000001"), so
+ * identical runs serialise byte-identically and parsers recover the
+ * exact double.  Non-finite values render as null.
+ */
+std::string statNumber(double value);
+
 /** A single monotonically accumulating counter. */
 class Counter
 {
@@ -119,6 +127,15 @@ class StatGroup
 
     /** Dump this group and children as an aligned text table. */
     void dump(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Dump this group and children as one JSON object: counters,
+     * accumulator count/mean/min/max, histogram buckets, formula
+     * values, and a "children" array, mirroring the text dump's
+     * nesting.  Deterministic: identical runs produce byte-identical
+     * output (there is a regression test).
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
 
   private:
     struct NamedCounter { Counter *stat; std::string name, desc; };

@@ -1,5 +1,6 @@
 #include "topaz/rpc.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -52,6 +53,14 @@ RpcEngine::issueCall(unsigned slot)
     lastOutstandingChange = sim.now();
     ++outstanding;
 
+    // Each slot serves one call at a time, so the call renders as a
+    // slice on its own "rpc.slot<N>" track, send to reply-unmarshal.
+    if (auto *ts = obs::traceSink()) {
+        ts->begin(sim.now(), obs::kCatRpc,
+                  "rpc.slot" + std::to_string(slot), "call",
+                  {{"bytes", std::to_string(cfg.requestBytes)}});
+    }
+
     // Client software: marshal the arguments, then hand the packet
     // to the controller (the DEQNA DMAs it out of main memory).
     sim.events().schedule(
@@ -100,6 +109,10 @@ RpcEngine::replyDelivered(unsigned slot)
     sim.events().schedule(
         sim.now() + cfg.clientOverheadCycles / 2, [this, slot] {
             ++callsCompleted;
+            if (auto *ts = obs::traceSink()) {
+                ts->end(sim.now(), obs::kCatRpc,
+                        "rpc.slot" + std::to_string(slot));
+            }
             bytesTransferred += cfg.requestBytes;
             outstandingIntegral +=
                 static_cast<double>(outstanding) *

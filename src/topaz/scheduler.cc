@@ -1,5 +1,6 @@
 #include "topaz/scheduler.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -26,6 +27,13 @@ void
 TopazScheduler::makeReady(unsigned thread, unsigned preferred_cpu)
 {
     ++enqueues;
+    // The scheduler is not Clocked, so it reads the published trace
+    // clock rather than a Simulator reference.
+    if (auto *ts = obs::traceSink()) {
+        ts->instant(obs::traceNow(), obs::kCatSched, "sched", "ready",
+                    {{"thread", std::to_string(thread)},
+                     {"cpu", std::to_string(preferred_cpu)}});
+    }
     if (_policy == SchedulerPolicy::Global) {
         globalQueue.push_back(thread);
         return;
@@ -41,6 +49,7 @@ TopazScheduler::pick(unsigned cpu)
             return -1;
         const unsigned thread = globalQueue.front();
         globalQueue.pop_front();
+        traceDispatch(thread, cpu, false);
         return static_cast<int>(thread);
     }
 
@@ -49,6 +58,7 @@ TopazScheduler::pick(unsigned cpu)
     if (!own.empty()) {
         const unsigned thread = own.front();
         own.pop_front();
+        traceDispatch(thread, cpu, false);
         return static_cast<int>(thread);
     }
     // Steal the oldest work from the longest foreign queue.
@@ -64,7 +74,21 @@ TopazScheduler::pick(unsigned cpu)
     const unsigned thread = queues[best].front();
     queues[best].pop_front();
     ++steals;
+    traceDispatch(thread, cpu, true);
     return static_cast<int>(thread);
+}
+
+void
+TopazScheduler::traceDispatch(unsigned thread, unsigned cpu,
+                              bool migrated)
+{
+    auto *ts = obs::traceSink();
+    if (!ts)
+        return;
+    ts->instant(obs::traceNow(), obs::kCatSched, "sched",
+                migrated ? "migrate" : "dispatch",
+                {{"thread", std::to_string(thread)},
+                 {"cpu", std::to_string(cpu)}});
 }
 
 std::size_t

@@ -63,6 +63,8 @@ class TopazScheduler
     Counter enqueues;
 
   private:
+    void traceDispatch(unsigned thread, unsigned cpu, bool migrated);
+
     SchedulerPolicy _policy;
     std::vector<std::deque<unsigned>> queues;  ///< per CPU (Affinity)
     std::deque<unsigned> globalQueue;          ///< Global policy

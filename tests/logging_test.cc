@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The debug-trace flag machinery: programmatic set/query, the
+ * comma-separated list form, and FIREFLY_DEBUG environment parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+using namespace firefly;
+
+namespace
+{
+
+class LoggingFlags : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        unsetenv("FIREFLY_DEBUG");
+        resetDebugFlagsForTest();
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("FIREFLY_DEBUG");
+        resetDebugFlagsForTest();
+    }
+};
+
+TEST_F(LoggingFlags, DefaultsToAllOff)
+{
+    EXPECT_FALSE(debugFlagSet("MBus"));
+    EXPECT_FALSE(debugFlagSet("Cache"));
+    EXPECT_FALSE(anyDebugFlagsSet());
+}
+
+TEST_F(LoggingFlags, SetAndClearOneFlag)
+{
+    setDebugFlag("MBus");
+    EXPECT_TRUE(debugFlagSet("MBus"));
+    EXPECT_FALSE(debugFlagSet("Cache"));
+    EXPECT_TRUE(anyDebugFlagsSet());
+
+    setDebugFlag("MBus", false);
+    EXPECT_FALSE(debugFlagSet("MBus"));
+    EXPECT_FALSE(anyDebugFlagsSet());
+}
+
+TEST_F(LoggingFlags, CommaSeparatedList)
+{
+    setDebugFlags("MBus,Cache,Sched");
+    EXPECT_TRUE(debugFlagSet("MBus"));
+    EXPECT_TRUE(debugFlagSet("Cache"));
+    EXPECT_TRUE(debugFlagSet("Sched"));
+    EXPECT_FALSE(debugFlagSet("Dma"));
+}
+
+TEST_F(LoggingFlags, ListSkipsEmptyTokens)
+{
+    setDebugFlags(",MBus,,Cache,");
+    EXPECT_TRUE(debugFlagSet("MBus"));
+    EXPECT_TRUE(debugFlagSet("Cache"));
+    EXPECT_FALSE(debugFlagSet(""));
+}
+
+TEST_F(LoggingFlags, EnvironmentVariableFoldsInOnFirstUse)
+{
+    setenv("FIREFLY_DEBUG", "Cpu,Rpc", 1);
+    resetDebugFlagsForTest();  // forces a re-read on next query
+    EXPECT_TRUE(debugFlagSet("Cpu"));
+    EXPECT_TRUE(debugFlagSet("Rpc"));
+    EXPECT_FALSE(debugFlagSet("MBus"));
+    EXPECT_TRUE(anyDebugFlagsSet());
+}
+
+TEST_F(LoggingFlags, EnvironmentCombinesWithProgrammaticFlags)
+{
+    setenv("FIREFLY_DEBUG", "Dma", 1);
+    resetDebugFlagsForTest();
+    setDebugFlag("MBus");
+    EXPECT_TRUE(debugFlagSet("MBus"));
+    EXPECT_TRUE(debugFlagSet("Dma"));
+}
+
+TEST_F(LoggingFlags, ResetClearsEverything)
+{
+    setDebugFlags("MBus,Cache");
+    resetDebugFlagsForTest();
+    EXPECT_FALSE(debugFlagSet("MBus"));
+    EXPECT_FALSE(anyDebugFlagsSet());
+}
+
+} // namespace
