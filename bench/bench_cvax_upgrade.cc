@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "firefly/system.hh"
@@ -77,9 +78,31 @@ experiment()
                 "bus load/CPU", "M");
     bench::rule();
 
+    // One independent simulation per point, --jobs at a time.
+    struct Point
+    {
+        MachineVersion version;
+        unsigned cpus;
+        OnChipCache::DataMode mode =
+            OnChipCache::DataMode::InstructionsOnly;
+        bool onchipEnabled = true;
+    };
+    auto sweep = [](const std::vector<Point> &points) {
+        return bench::runSweep(points, [](const Point &p) {
+            return run(p.version, p.cpus, p.mode, p.onchipEnabled);
+        });
+    };
+
+    std::vector<Point> generations;
     for (unsigned cpus : {1u, 5u}) {
-        const auto mv = run(MachineVersion::MicroVax, cpus);
-        const auto cv = run(MachineVersion::Cvax, cpus);
+        generations.push_back({MachineVersion::MicroVax, cpus});
+        generations.push_back({MachineVersion::Cvax, cpus});
+    }
+    const auto genResults = sweep(generations);
+    for (std::size_t i = 0; i < generations.size(); i += 2) {
+        const unsigned cpus = generations[i].cpus;
+        const auto &mv = genResults[i];
+        const auto &cv = genResults[i + 1];
         std::printf("%u-CPU MicroVAX (16KB $)    %12.2f %14.3f %8.3f\n",
                     cpus, mv.instrPerSec / 1e6, mv.busLoadPerCpu,
                     mv.missRate);
@@ -95,13 +118,17 @@ experiment()
 
     bench::rule();
     std::printf("On-chip cache configuration (5-CPU CVAX):\n\n");
-    const auto ionly = run(MachineVersion::Cvax, 5,
-                           OnChipCache::DataMode::InstructionsOnly);
-    const auto idata = run(MachineVersion::Cvax, 5,
-                           OnChipCache::DataMode::InstructionsAndData);
-    const auto none = run(MachineVersion::Cvax, 5,
-                          OnChipCache::DataMode::InstructionsOnly,
-                          false);
+    const auto onchip = sweep({
+        {MachineVersion::Cvax, 5,
+         OnChipCache::DataMode::InstructionsOnly},
+        {MachineVersion::Cvax, 5,
+         OnChipCache::DataMode::InstructionsAndData},
+        {MachineVersion::Cvax, 5,
+         OnChipCache::DataMode::InstructionsOnly, false},
+    });
+    const auto &ionly = onchip[0];
+    const auto &idata = onchip[1];
+    const auto &none = onchip[2];
     std::printf("%-28s %12s %20s\n", "on-chip mode", "MIPS",
                 "stale hits (K/s)");
     std::printf("%-28s %12.2f %20s\n", "disabled",

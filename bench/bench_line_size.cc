@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "firefly/system.hh"
@@ -64,12 +65,25 @@ experiment()
     std::printf("%10s | %6s %6s %6s | %6s %6s %6s %8s\n",
                 "line bytes", "M", "L", "TPI", "M", "L", "TPI", "TP");
     bench::rule();
+    // One independent simulation per (line size, CPU count) point.
+    struct Point
+    {
+        Addr line;
+        unsigned cpus;
+    };
+    std::vector<Point> points;
     for (Addr line : {4u, 8u, 16u, 32u}) {
-        const auto one = run(line, 1);
-        const auto five = run(line, 5);
+        points.push_back({line, 1});
+        points.push_back({line, 5});
+    }
+    const auto results = bench::runSweep(
+        points, [](const Point &p) { return run(p.line, p.cpus); });
+    for (std::size_t i = 0; i < points.size(); i += 2) {
+        const auto &one = results[i];
+        const auto &five = results[i + 1];
         std::printf("%10u | %6.3f %6.2f %6.2f | %6.3f %6.2f %6.2f "
                     "%8.2f\n",
-                    line, one.missRate, one.busLoad, one.tpi,
+                    points[i].line, one.missRate, one.busLoad, one.tpi,
                     five.missRate, five.busLoad, five.tpi,
                     five.totalPerf);
     }

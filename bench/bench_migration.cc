@@ -81,15 +81,28 @@ experiment()
                 "bus load", "runtime(ms)");
     bench::rule();
 
+    // One independent simulation per (protocol, policy) point.
+    struct Point
+    {
+        ProtocolKind protocol;
+        SchedulerPolicy policy;
+    };
+    std::vector<Point> points;
     for (auto protocol : {ProtocolKind::Firefly, ProtocolKind::Mesi}) {
         for (auto policy :
-             {SchedulerPolicy::Affinity, SchedulerPolicy::Global}) {
-            const auto result = run(policy, protocol);
-            std::printf("%-10s %-10s %12.0f %18.1f %10.2f %12.1f\n",
-                        toString(protocol), toString(policy),
-                        result.migrations, result.wtMshared,
-                        result.busLoad, result.elapsedMs);
-        }
+             {SchedulerPolicy::Affinity, SchedulerPolicy::Global})
+            points.push_back({protocol, policy});
+    }
+    const auto results = bench::runSweep(points, [](const Point &p) {
+        return run(p.policy, p.protocol);
+    });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &result = results[i];
+        std::printf("%-10s %-10s %12.0f %18.1f %10.2f %12.1f\n",
+                    toString(points[i].protocol),
+                    toString(points[i].policy), result.migrations,
+                    result.wtMshared, result.busLoad,
+                    result.elapsedMs);
     }
 
     bench::rule();

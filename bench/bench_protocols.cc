@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "firefly/system.hh"
@@ -74,6 +75,24 @@ run(ProtocolKind kind, unsigned cpus, double shared_write_frac,
             invals / seconds / 1e3, bus_writes / instrs * 1000.0};
 }
 
+/** One sweep point: the arguments of run(). */
+struct Point
+{
+    ProtocolKind kind;
+    unsigned cpus;
+    double sharing;
+    bool lowMiss;
+};
+
+/** Run every point, --jobs at a time, results in input order. */
+std::vector<Result>
+sweep(const std::vector<Point> &points)
+{
+    return bench::runSweep(points, [](const Point &p) {
+        return run(p.kind, p.cpus, p.sharing, p.lowMiss);
+    });
+}
+
 void
 experiment()
 {
@@ -85,34 +104,35 @@ experiment()
         ProtocolKind::WriteThroughInvalidate,
     };
 
+    auto perfTable = [&](bool low_miss) {
+        std::printf("%-10s", "protocol");
+        for (unsigned np : {1u, 2u, 4u, 6u, 8u})
+            std::printf("  NP=%-5u", np);
+        std::printf("\n");
+        bench::rule();
+        std::vector<Point> points;
+        for (const auto kind : kinds) {
+            for (unsigned np : {1u, 2u, 4u, 6u, 8u})
+                points.push_back({kind, np, 0.1, low_miss});
+        }
+        const auto results = sweep(points);
+        std::size_t at = 0;
+        for (const auto kind : kinds) {
+            std::printf("%-10s", toString(kind));
+            for (unsigned np : {1u, 2u, 4u, 6u, 8u}) {
+                (void)np;
+                std::printf("  %-7.2f", results[at++].totalPerf);
+            }
+            std::printf("\n");
+        }
+    };
+
     std::printf("\nTotal performance (aggregate MIPS relative to one "
                 "no-wait CPU), S = 0.1:\n\n");
-    std::printf("%-10s", "protocol");
-    for (unsigned np : {1u, 2u, 4u, 6u, 8u})
-        std::printf("  NP=%-5u", np);
-    std::printf("\n");
-    bench::rule();
-    for (const auto kind : kinds) {
-        std::printf("%-10s", toString(kind));
-        for (unsigned np : {1u, 2u, 4u, 6u, 8u})
-            std::printf("  %-7.2f", run(kind, np, 0.1, false).totalPerf);
-        std::printf("\n");
-    }
+    perfTable(false);
     std::printf("\nTotal performance with a cache-friendly workload "
                 "(low miss rate):\n\n");
-    std::printf("%-10s", "protocol");
-    for (unsigned np : {1u, 2u, 4u, 6u, 8u})
-        std::printf("  NP=%-5u", np);
-    std::printf("\n");
-    bench::rule();
-    for (const auto kind : kinds) {
-        std::printf("%-10s", toString(kind));
-        for (unsigned np : {1u, 2u, 4u, 6u, 8u}) {
-            std::printf("  %-7.2f",
-                        run(kind, np, 0.1, true).totalPerf);
-        }
-        std::printf("\n");
-    }
+    perfTable(true);
     std::printf("\n(WTI flattens first: every write is a bus write, "
                 "however good the cache. Paper: \"not a practical "
                 "protocol for more than a few processors\".)\n");
@@ -123,21 +143,39 @@ experiment()
         std::printf("  S=%-6.2f", s);
     std::printf("\n");
     bench::rule();
-    for (const auto kind : kinds) {
-        std::printf("%-10s", toString(kind));
-        for (double s : {0.02, 0.1, 0.3})
-            std::printf("  %-8.2f", run(kind, 6, s, false).busLoad);
-        std::printf("\n");
+    {
+        std::vector<Point> points;
+        for (const auto kind : kinds) {
+            for (double s : {0.02, 0.1, 0.3})
+                points.push_back({kind, 6, s, false});
+        }
+        const auto results = sweep(points);
+        std::size_t at = 0;
+        for (const auto kind : kinds) {
+            std::printf("%-10s", toString(kind));
+            for (double s : {0.02, 0.1, 0.3}) {
+                (void)s;
+                std::printf("  %-8.2f", results[at++].busLoad);
+            }
+            std::printf("\n");
+        }
     }
 
     std::printf("\nCoherence costs at 4 CPUs, heavy sharing (S=0.3):\n\n");
     std::printf("%-10s %22s %26s\n", "protocol",
                 "invalidations/s (K)", "bus writes+invals /k-instr");
     bench::rule();
-    for (const auto kind : kinds) {
-        const auto result = run(kind, 4, 0.3, false);
-        std::printf("%-10s %22.1f %26.1f\n", toString(kind),
-                    result.invalsReceived, result.busWritesPerKInstr);
+    {
+        std::vector<Point> points;
+        for (const auto kind : kinds)
+            points.push_back({kind, 4, 0.3, false});
+        const auto results = sweep(points);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::printf("%-10s %22.1f %26.1f\n",
+                        toString(points[i].kind),
+                        results[i].invalsReceived,
+                        results[i].busWritesPerKInstr);
+        }
     }
     std::printf("\n(Invalidation protocols churn copies; update "
                 "protocols pay with write-throughs/updates instead - "

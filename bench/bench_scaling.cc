@@ -123,9 +123,16 @@ experiment()
     bench::rule();
 
     QueueingModel model;
-    for (unsigned np : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u, 12u}) {
+    // The ten table rows plus the headline five-CPU machine, one
+    // independent simulation per point, --jobs at a time.
+    const std::vector<unsigned> nps = {1u, 2u,  3u, 4u, 5u, 6u,
+                                       7u, 8u, 10u, 12u, 5u};
+    const auto sims = bench::runSweep(
+        nps, [](unsigned np) { return simulate(np); });
+    for (std::size_t i = 0; i + 1 < nps.size(); ++i) {
+        const unsigned np = nps[i];
         const auto row = model.rowForProcessors(np);
-        const auto sim = simulate(np);
+        const auto &sim = sims[i];
         std::printf(
             "%4u | %6.2f %6.1f %6.2f %6.2f | %6.2f %6.1f %6.2f %6.2f "
             "%6.2f\n",
@@ -134,7 +141,7 @@ experiment()
     }
 
     bench::rule();
-    const auto five = simulate(5);
+    const auto &five = sims.back();
     std::printf("Five-CPU machine (paper: L~0.4, RP~0.85, TP>4): "
                 "simulated L=%.2f RP=%.2f TP=%.2f\n",
                 five.load, five.rp, five.tp);

@@ -8,7 +8,7 @@
  * immediate.  Passing --gbench additionally runs any registered
  * google-benchmark microbenchmarks (simulator speed measurements).
  *
- * Observability options, understood by every bench binary:
+ * Options, understood by every bench binary:
  *
  *   --stats-json=FILE    write the headline system's full StatGroup
  *                        tree as JSON (StatGroup::dumpJson)
@@ -16,11 +16,19 @@
  *                        whole run (load it at ui.perfetto.dev)
  *   --debug-flags=A,B    enable debug-trace categories (MBus, Cache,
  *                        Cpu, Dma, Sched, Rpc) printed to stderr
+ *   --jobs=N             run independent sweep points on N worker
+ *                        threads (default 1 = today's serial loop)
+ *
+ * Unrecognized arguments are an error (usage + nonzero exit), so a
+ * typo like "--trace-out foo" or an empty "--stats-json=" cannot
+ * silently produce no output.
  *
  * runBenchMain() parses these, attaches the sinks around the
  * experiment, and flushes/finalises them afterwards.  Experiments
  * honour --stats-json by calling bench::exportStats(sys.stats()) on
- * their headline system (the last call wins).
+ * their headline system (the last call wins - under --jobs N "last"
+ * means the highest sweep point in input order, so the exported file
+ * is byte-identical however many workers ran the sweep).
  */
 
 #ifndef FIREFLY_BENCH_BENCH_UTIL_HH
@@ -28,13 +36,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "harness/sweep.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/text_trace.hh"
 #include "obs/trace.hh"
@@ -44,12 +58,13 @@
 namespace firefly::bench
 {
 
-/** Observability options shared by every bench binary. */
+/** Command-line options shared by every bench binary. */
 struct ObsOptions
 {
     std::string statsJsonPath;  ///< --stats-json=FILE
     std::string traceOutPath;   ///< --trace-out=FILE
     std::string debugFlags;     ///< --debug-flags=MBus,Cache,...
+    unsigned jobs = 1;          ///< --jobs=N
 
     /** True if any observability output was requested. */
     bool
@@ -67,32 +82,151 @@ obsOptions()
     return opts;
 }
 
-/**
- * Write `root`'s full stat tree to the --stats-json file.  A no-op
- * when the option was not given.  Benches call this on the system
- * whose numbers headline the experiment; if several systems are
- * simulated the last exported one lands in the file.
- */
-inline void
-exportStats(const StatGroup &root)
+namespace detail
 {
-    const std::string &path = obsOptions().statsJsonPath;
-    if (path.empty())
+
+/**
+ * Deterministic --stats-json arbitration.  "Last export wins" is
+ * only well defined when the export order is; under --jobs N the
+ * completion order is whatever the scheduler produced.  So every
+ * export carries a sequence number equal to its position in the
+ * *serial* execution order - plain exports draw from a global
+ * counter, sweep points are pre-assigned base+index by runSweep() -
+ * and the highest sequence seen is buffered and written out once at
+ * the end of runBenchMain().  jobs=1 and jobs=N therefore produce
+ * byte-identical files.
+ */
+inline std::atomic<std::uint64_t> exportSeqCounter{0};
+inline thread_local std::uint64_t pinnedExportSeq = 0;
+inline thread_local bool exportSeqPinned = false;
+
+struct ExportBuffer
+{
+    std::mutex mutex;
+    bool pending = false;        // guarded by mutex
+    std::uint64_t seq = 0;       // guarded by mutex
+    std::string json;            // guarded by mutex
+};
+
+inline ExportBuffer &
+exportBuffer()
+{
+    static ExportBuffer buffer;
+    return buffer;
+}
+
+/** Pins this thread's export sequence for one sweep point. */
+class ScopedExportSeq
+{
+  public:
+    explicit ScopedExportSeq(std::uint64_t seq)
+    {
+        pinnedExportSeq = seq;
+        exportSeqPinned = true;
+    }
+
+    ~ScopedExportSeq() { exportSeqPinned = false; }
+
+    ScopedExportSeq(const ScopedExportSeq &) = delete;
+    ScopedExportSeq &operator=(const ScopedExportSeq &) = delete;
+};
+
+/** Write the winning export to the --stats-json file, if any. */
+inline void
+flushExportedStats()
+{
+    ExportBuffer &buffer = exportBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (!buffer.pending)
         return;
+    const std::string &path = obsOptions().statsJsonPath;
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "cannot write stats JSON to %s\n",
                      path.c_str());
         return;
     }
+    os << buffer.json;
+}
+
+} // namespace detail
+
+/**
+ * Export `root`'s full stat tree to the --stats-json file.  A no-op
+ * when the option was not given.  Benches call this on the system
+ * whose numbers headline the experiment; if several systems are
+ * simulated the one last in serial execution order lands in the file
+ * (see detail::ExportBuffer), written when runBenchMain() finishes.
+ */
+inline void
+exportStats(const StatGroup &root)
+{
+    if (obsOptions().statsJsonPath.empty())
+        return;
+    std::ostringstream os;
     root.dumpJson(os);
+    const std::uint64_t seq = detail::exportSeqPinned
+        ? detail::pinnedExportSeq
+        : detail::exportSeqCounter.fetch_add(1);
+
+    detail::ExportBuffer &buffer = detail::exportBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (!buffer.pending || seq >= buffer.seq) {
+        buffer.pending = true;
+        buffer.seq = seq;
+        buffer.json = os.str();
+    }
+}
+
+/**
+ * The worker count sweeps actually run with.  Trace sinks are
+ * single-threaded observers attached to the main thread (workers
+ * start with none - obs/trace.hh), so when tracing is on, sweeps
+ * stay serial; byte-identical numbers either way, just slower.
+ */
+inline unsigned
+effectiveJobs()
+{
+    const ObsOptions &opts = obsOptions();
+    if (opts.jobs <= 1)
+        return 1;
+    if (!opts.traceOutPath.empty() || anyDebugFlagsSet()) {
+        static std::once_flag warned;
+        std::call_once(warned, [] {
+            warn("tracing observes one thread; --jobs forced to 1");
+        });
+        return 1;
+    }
+    return opts.jobs;
+}
+
+/**
+ * Run a sweep of independent experiment points, --jobs at a time,
+ * results in input order (harness::runSweep).  Also pre-assigns each
+ * point's exportStats() sequence number so the headline stats file
+ * is independent of --jobs.
+ */
+template <typename Config, typename Fn>
+auto
+runSweep(const std::vector<Config> &configs, Fn fn)
+{
+    const std::uint64_t base =
+        detail::exportSeqCounter.fetch_add(configs.size());
+    return harness::runSweep(
+        configs,
+        [&](const Config &config, std::size_t index) {
+            detail::ScopedExportSeq seq(base + index);
+            return harness::detail::invokePoint(fn, config, index);
+        },
+        effectiveJobs());
 }
 
 /**
  * RAII bundle of the sinks requested on the command line, attached
- * process-wide for its lifetime.  Built once by runBenchMain around
- * the experiment so a sweep of several simulated machines lands in
- * one concatenated trace file.
+ * to the main thread for its lifetime.  Built once by runBenchMain
+ * around the experiment so a sweep of several simulated machines
+ * lands in one concatenated trace file; sweeps stay serial while
+ * tracing (see effectiveJobs) so every machine runs under the sink.
  */
 class Observation
 {
@@ -144,26 +278,85 @@ rule()
     std::printf("--------------------------------------------------------------\n");
 }
 
+/** Print the option summary every bench binary shares. */
+inline void
+printUsage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "  --stats-json=FILE   write the headline stat tree as JSON\n"
+                 "  --trace-out=FILE    record a Chrome trace-event JSON file\n"
+                 "  --debug-flags=A,B   enable debug-trace categories\n"
+                 "                      (MBus, Cache, Cpu, Dma, Sched, Rpc)\n"
+                 "  --jobs=N            run sweep points on N worker threads\n"
+                 "  --gbench            also run google-benchmark "
+                 "microbenchmarks\n"
+                 "                      (--benchmark_* options pass through)\n",
+                 prog);
+}
+
 /**
- * Standard main body: parse the observability options, run the
- * experiment under the requested sinks, then google-benchmark if
- * requested.  Returns the process exit code.
+ * Standard main body: parse the shared options (rejecting anything
+ * unrecognized), run the experiment under the requested sinks, then
+ * google-benchmark if requested.  Returns the process exit code.
  */
 inline int
 runBenchMain(int argc, char **argv, void (*experiment)())
 {
     bool gbench = false;
     ObsOptions &opts = obsOptions();
+
+    // Returns the value of "--name=value" or nullopt if `arg` is a
+    // different option; an empty value is a hard usage error.
+    auto valueOf = [&](const char *arg,
+                       const char *prefix) -> std::optional<std::string> {
+        const std::size_t len = std::strlen(prefix);
+        if (std::strncmp(arg, prefix, len) != 0)
+            return std::nullopt;
+        std::string value = arg + len;
+        if (value.empty()) {
+            std::fprintf(stderr, "%s: option '%s' requires a value\n",
+                         argv[0], arg);
+            printUsage(argv[0]);
+            std::exit(2);
+        }
+        return value;
+    };
+
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--gbench") == 0)
+        if (std::strcmp(arg, "--gbench") == 0) {
             gbench = true;
-        else if (std::strncmp(arg, "--stats-json=", 13) == 0)
-            opts.statsJsonPath = arg + 13;
-        else if (std::strncmp(arg, "--trace-out=", 12) == 0)
-            opts.traceOutPath = arg + 12;
-        else if (std::strncmp(arg, "--debug-flags=", 14) == 0)
-            opts.debugFlags = arg + 14;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            printUsage(argv[0]);
+            return 0;
+        } else if (auto v = valueOf(arg, "--stats-json=")) {
+            opts.statsJsonPath = *v;
+        } else if (auto v = valueOf(arg, "--trace-out=")) {
+            opts.traceOutPath = *v;
+        } else if (auto v = valueOf(arg, "--debug-flags=")) {
+            opts.debugFlags = *v;
+        } else if (auto v = valueOf(arg, "--jobs=")) {
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v->c_str(), &end, 10);
+            if (*end != '\0' || n == 0 || n > 1024) {
+                std::fprintf(stderr,
+                             "%s: --jobs needs an integer in [1, 1024], "
+                             "got '%s'\n",
+                             argv[0], v->c_str());
+                printUsage(argv[0]);
+                return 2;
+            }
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+            // Left in argv for benchmark::Initialize below.
+        } else {
+            std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
+                         argv[0], arg);
+            printUsage(argv[0]);
+            return 2;
+        }
     }
     if (!opts.debugFlags.empty())
         setDebugFlags(opts.debugFlags);
@@ -172,6 +365,7 @@ runBenchMain(int argc, char **argv, void (*experiment)())
         Observation observation;
         experiment();
     }
+    detail::flushExportedStats();
 
     if (gbench) {
         benchmark::Initialize(&argc, argv);

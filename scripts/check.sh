@@ -5,9 +5,13 @@
 #   scripts/check.sh                 # plain RelWithDebInfo build
 #   scripts/check.sh address         # AddressSanitizer build
 #   scripts/check.sh undefined       # UBSan build
+#   scripts/check.sh thread          # ThreadSanitizer build
 #
 # Each variant uses its own build directory so they do not trample
-# one another's caches.
+# one another's caches.  The thread variant runs the tests labelled
+# "tsan" (sweep harness, observability, logging - everything the
+# parallel harness threads through) so new threading stays race-clean
+# without paying TSan's ~10x slowdown on the whole cycle-level suite.
 set -eu
 
 sanitize="${1:-}"
@@ -17,8 +21,9 @@ case "$sanitize" in
     "")        builddir="$repo/build" ;;
     address)   builddir="$repo/build-asan" ;;
     undefined) builddir="$repo/build-ubsan" ;;
+    thread)    builddir="$repo/build-tsan" ;;
     *)
-        echo "usage: $0 [address|undefined]" >&2
+        echo "usage: $0 [address|undefined|thread]" >&2
         exit 2
         ;;
 esac
@@ -26,6 +31,23 @@ esac
 cmake -B "$builddir" -S "$repo" \
     ${sanitize:+-DFIREFLY_SANITIZE="$sanitize"}
 cmake --build "$builddir" -j "$(nproc)"
+if [ "$sanitize" = thread ]; then
+    (cd "$builddir" && ctest --output-on-failure -j "$(nproc)" -L tsan)
+    # A parallel sweep in a real bench binary must run race-free and
+    # produce the same stats file as the serial loop.
+    tsandir="$(mktemp -d)"
+    trap 'rm -rf "$tsandir"' EXIT
+    "$builddir/bench/bench_line_size" --jobs=1 \
+        --stats-json="$tsandir/serial.json" > /dev/null
+    "$builddir/bench/bench_line_size" --jobs=4 \
+        --stats-json="$tsandir/parallel.json" > /dev/null
+    cmp "$tsandir/serial.json" "$tsandir/parallel.json" || {
+        echo "stats diverge between --jobs=1 and --jobs=4" >&2
+        exit 1
+    }
+    echo "check.sh: all green (sanitize=thread)"
+    exit 0
+fi
 (cd "$builddir" && ctest --output-on-failure -j "$(nproc)")
 
 # Flight-recorder smoke test: the observed bench run must produce a

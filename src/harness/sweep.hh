@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parallel sweep driver: run independent simulations concurrently.
+ *
+ * Every design-space experiment in bench/ is a loop over independent
+ * configurations - protocol x NP x sharing fraction, line sizes,
+ * scheduler policies - each point building and running its own
+ * FireflySystem.  runSweep() executes those points on a WorkerPool
+ * and returns the results *in input order*, whatever order the
+ * scheduler ran them in.
+ *
+ * The determinism contract: a sweep's results depend only on each
+ * point's configuration, never on execution order or the number of
+ * workers.  The simulator holds up its end (per-instance state,
+ * thread_local observability, config-seeded Rngs); callers hold up
+ * theirs by deriving every random seed from the point's own
+ * configuration - pointSeed() below mixes a base seed with per-point
+ * salts so no Rng is ever threaded *across* points.  jobs <= 1 runs
+ * the plain serial loop on the calling thread, byte-identical to the
+ * pre-harness behaviour.
+ *
+ * Exceptions thrown by a point's callback are captured on the worker
+ * and rethrown on the calling thread after the sweep drains, lowest
+ * point index first (again: independent of scheduling).
+ */
+
+#ifndef FIREFLY_HARNESS_SWEEP_HH
+#define FIREFLY_HARNESS_SWEEP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <type_traits>
+#include <vector>
+
+#include "harness/worker_pool.hh"
+
+namespace firefly::harness
+{
+
+namespace detail
+{
+
+/** Call fn(config, index) if it takes the index, else fn(config). */
+template <typename Fn, typename Config>
+auto
+invokePoint(Fn &fn, const Config &config, std::size_t index)
+{
+    if constexpr (std::is_invocable_v<Fn &, const Config &, std::size_t>)
+        return fn(config, index);
+    else
+        return fn(config);
+}
+
+} // namespace detail
+
+/**
+ * Derive a sweep point's seed from its configuration.
+ *
+ * SplitMix64-mixes the base seed with any number of per-point salts
+ * (sweep indices, processor counts, a config hash...).  Distinct
+ * salts give statistically independent seeds, and the result depends
+ * only on the inputs - never on which worker runs the point or when.
+ */
+inline std::uint64_t
+pointSeed(std::uint64_t base)
+{
+    return base;
+}
+
+template <typename... Salts>
+std::uint64_t
+pointSeed(std::uint64_t base, std::uint64_t salt, Salts... rest)
+{
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return pointSeed(z ^ (z >> 31), rest...);
+}
+
+/**
+ * Run fn over every config, `jobs` at a time, returning the results
+ * in input order.  fn is invoked as fn(config) or, if it accepts
+ * one, fn(config, index).  The result type must be default
+ * constructible (sweep results are plain aggregates of measurements).
+ */
+template <typename Config, typename Fn>
+auto
+runSweep(const std::vector<Config> &configs, Fn fn, unsigned jobs = 1)
+    -> std::vector<decltype(detail::invokePoint(fn, configs[0], 0))>
+{
+    using Result = decltype(detail::invokePoint(fn, configs[0], 0));
+    std::vector<Result> results(configs.size());
+
+    if (jobs <= 1 || configs.size() <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = detail::invokePoint(fn, configs[i], i);
+        return results;
+    }
+
+    std::vector<std::exception_ptr> errors(configs.size());
+    {
+        WorkerPool pool(std::min<std::size_t>(jobs, configs.size()));
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            pool.submit([&, i] {
+                try {
+                    results[i] =
+                        detail::invokePoint(fn, configs[i], i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+} // namespace firefly::harness
+
+#endif // FIREFLY_HARNESS_SWEEP_HH

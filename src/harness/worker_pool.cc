@@ -1,0 +1,67 @@
+#include "harness/worker_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace firefly::harness
+{
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    if (threads == 0)
+        fatal("WorkerPool needs at least one thread");
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(job));
+    }
+    workReady.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    allDone.wait(lock, [this] { return queue.empty() && running == 0; });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        workReady.wait(lock,
+                       [this] { return stopping || !queue.empty(); });
+        if (queue.empty())
+            return;  // stopping, and nothing left to drain
+        std::function<void()> job = std::move(queue.front());
+        queue.pop_front();
+        ++running;
+        lock.unlock();
+        job();
+        lock.lock();
+        --running;
+        if (queue.empty() && running == 0)
+            allDone.notify_all();
+    }
+}
+
+} // namespace firefly::harness

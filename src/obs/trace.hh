@@ -3,7 +3,7 @@
  * Structured event tracing: the flight recorder's front end.
  *
  * Components emit typed, timestamped TraceEvents into a TraceSink.
- * Exactly one (possibly compound) sink is attached process-wide;
+ * Exactly one (possibly compound) sink is attached per *thread*;
  * emission sites are written as
  *
  *     if (auto *ts = obs::traceSink())
@@ -15,6 +15,14 @@
  * and can feed nothing back - so attaching one cannot perturb
  * simulated behaviour (the determinism regression runs with and
  * without a sink and must produce identical statistics).
+ *
+ * The sink pointer (and the published timestamp below) is
+ * thread_local: each simulation thread observes only the sink it
+ * attached itself, so independent simulations on harness worker
+ * threads (src/harness/) neither share nor race on observability
+ * state.  A freshly spawned worker starts with no sink - the
+ * zero-cost case - and sink objects themselves are not thread-safe,
+ * so a sink must only ever be attached on the thread that uses it.
  *
  * Event categories double as the debug-trace flag names understood by
  * sim/logging.hh (and the FIREFLY_DEBUG environment variable); the
@@ -99,18 +107,18 @@ class TeeSink : public TraceSink
 
 namespace detail
 {
-inline TraceSink *g_sink = nullptr;
-inline Cycle g_now = 0;
+inline thread_local TraceSink *g_sink = nullptr;
+inline thread_local Cycle g_now = 0;
 } // namespace detail
 
-/** The attached sink, or nullptr (the common, zero-cost case). */
+/** This thread's attached sink, or nullptr (the zero-cost case). */
 inline TraceSink *
 traceSink()
 {
     return detail::g_sink;
 }
 
-/** Attach (or with nullptr detach) the process-wide sink. */
+/** Attach (or with nullptr detach) this thread's sink. */
 inline void
 setTraceSink(TraceSink *sink)
 {

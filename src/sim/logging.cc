@@ -1,7 +1,9 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 
 namespace firefly
@@ -10,8 +12,15 @@ namespace firefly
 namespace
 {
 
-std::set<std::string> debugFlags;
-bool envParsed = false;
+// The flag registry is shared by every simulation thread (harness
+// workers run whole simulators concurrently), so it is guarded by a
+// mutex.  The common case - no flags enabled - never takes the lock:
+// flagCount mirrors the set's size (-1 until FIREFLY_DEBUG has been
+// folded in) and DPRINTF sites bail out on the atomic load alone.
+std::mutex flagMutex;
+std::set<std::string> debugFlags;           // guarded by flagMutex
+bool envParsed = false;                     // guarded by flagMutex
+std::atomic<int> flagCount{-1};
 
 /** Insert each nonempty comma-separated token of `list`. */
 void
@@ -30,13 +39,21 @@ insertFlagList(const std::string &list)
 
 /** Fold FIREFLY_DEBUG into the flag set, once, at first use. */
 void
-ensureEnvParsed()
+ensureEnvParsedLocked()
 {
     if (envParsed)
         return;
     envParsed = true;
     if (const char *env = std::getenv("FIREFLY_DEBUG"))
         insertFlagList(env);
+}
+
+/** Publish the set's size for the lock-free fast path. */
+void
+publishFlagCountLocked()
+{
+    flagCount.store(static_cast<int>(debugFlags.size()),
+                    std::memory_order_release);
 }
 
 void
@@ -90,39 +107,53 @@ inform(const char *fmt, ...)
 void
 setDebugFlag(const std::string &flag, bool enable)
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(flagMutex);
+    ensureEnvParsedLocked();
     if (enable)
         debugFlags.insert(flag);
     else
         debugFlags.erase(flag);
+    publishFlagCountLocked();
 }
 
 void
 setDebugFlags(const std::string &comma_list)
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(flagMutex);
+    ensureEnvParsedLocked();
     insertFlagList(comma_list);
+    publishFlagCountLocked();
 }
 
 bool
 debugFlagSet(const std::string &flag)
 {
-    ensureEnvParsed();
+    if (flagCount.load(std::memory_order_acquire) == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(flagMutex);
+    ensureEnvParsedLocked();
+    publishFlagCountLocked();
     return debugFlags.count(flag) != 0;
 }
 
 bool
 anyDebugFlagsSet()
 {
-    ensureEnvParsed();
+    if (flagCount.load(std::memory_order_acquire) == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(flagMutex);
+    ensureEnvParsedLocked();
+    publishFlagCountLocked();
     return !debugFlags.empty();
 }
 
 void
 resetDebugFlagsForTest()
 {
+    std::lock_guard<std::mutex> lock(flagMutex);
     debugFlags.clear();
     envParsed = false;
+    flagCount.store(-1, std::memory_order_release);
 }
 
 void

@@ -6,6 +6,11 @@
  * (conditions that should be impossible), fatal() for user errors
  * (bad configuration), warn()/inform() for status.  Debug tracing is
  * gated by named flags so individual subsystems can be traced.
+ *
+ * The flag registry is shared across threads (harness workers run
+ * whole simulators concurrently) and is internally synchronised; the
+ * no-flags-enabled fast path that every DPRINTF site takes is a
+ * single lock-free atomic load.
  */
 
 #ifndef FIREFLY_SIM_LOGGING_HH

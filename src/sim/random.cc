@@ -68,9 +68,18 @@ Rng::range(std::int64_t lo, std::int64_t hi)
 {
     if (lo > hi)
         panic("Rng::range with lo > hi");
-    const std::uint64_t span =
-        static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
+    // All arithmetic in uint64 space: hi - lo as int64 may overflow
+    // (UB) for spans wider than INT64_MAX, and for those spans the
+    // drawn offset does not fit in int64 either.  Two's-complement
+    // wraparound on the unsigned add yields the right value.
+    const std::uint64_t width = static_cast<std::uint64_t>(hi) -
+                                static_cast<std::uint64_t>(lo);
+    // The full 64-bit span: width + 1 wraps to 0, and every 64-bit
+    // value is in range anyway, so draw directly.
+    const std::uint64_t offset =
+        width == UINT64_MAX ? next() : below(width + 1);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     offset);
 }
 
 double

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "sim/random.hh"
@@ -69,6 +70,39 @@ TEST(Rng, RangeInclusive)
     }
     EXPECT_TRUE(saw_lo);
     EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeFullWidthSpan)
+{
+    // Regression: hi - lo + 1 wraps to zero for the full 64-bit span
+    // and used to panic inside below(); every value is in range, so
+    // the draw must just succeed.
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        const auto v = rng.range(INT64_MIN, INT64_MAX);
+        EXPECT_GE(v, INT64_MIN);
+        EXPECT_LE(v, INT64_MAX);
+    }
+    // Degenerate single-value spans at both extremes still work.
+    EXPECT_EQ(rng.range(INT64_MIN, INT64_MIN), INT64_MIN);
+    EXPECT_EQ(rng.range(INT64_MAX, INT64_MAX), INT64_MAX);
+}
+
+TEST(Rng, RangeSpansWiderThanInt64Max)
+{
+    // Spans in (INT64_MAX, UINT64_MAX): the drawn offset does not
+    // fit in int64, so the addition must happen in uint64 space.
+    Rng rng(21);
+    bool saw_negative = false, saw_positive = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(INT64_MIN, INT64_MAX - 1);
+        ASSERT_LE(v, INT64_MAX - 1);
+        saw_negative |= v < 0;
+        saw_positive |= v > 0;
+    }
+    // A uniform draw over nearly all of int64 hits both halves.
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
 }
 
 TEST(Rng, UniformInUnitInterval)
