@@ -6,12 +6,16 @@
 #   scripts/check.sh address         # AddressSanitizer build
 #   scripts/check.sh undefined       # UBSan build
 #   scripts/check.sh thread          # ThreadSanitizer build
+#   scripts/check.sh fuzz            # coherence fuzzing under ASan
 #
 # Each variant uses its own build directory so they do not trample
 # one another's caches.  The thread variant runs the tests labelled
 # "tsan" (sweep harness, observability, logging - everything the
 # parallel harness threads through) so new threading stays race-clean
 # without paying TSan's ~10x slowdown on the whole cycle-level suite.
+# The fuzz variant runs the "checker"-labelled tests plus the
+# fixed-seed firefly_fuzz corpus (5 protocols x 3 machine shapes)
+# under AddressSanitizer; see DESIGN.md section 9.
 set -eu
 
 sanitize="${1:-}"
@@ -22,11 +26,25 @@ case "$sanitize" in
     address)   builddir="$repo/build-asan" ;;
     undefined) builddir="$repo/build-ubsan" ;;
     thread)    builddir="$repo/build-tsan" ;;
+    fuzz)      builddir="$repo/build-asan" ;;
     *)
-        echo "usage: $0 [address|undefined|thread]" >&2
+        echo "usage: $0 [address|undefined|thread|fuzz]" >&2
         exit 2
         ;;
 esac
+
+if [ "$sanitize" = fuzz ]; then
+    cmake -B "$builddir" -S "$repo" -DFIREFLY_SANITIZE=address
+    cmake --build "$builddir" -j "$(nproc)"
+    (cd "$builddir" && ctest --output-on-failure -j "$(nproc)" -L checker)
+    # The full fixed-seed corpus, parallel, with a deeper reference
+    # stream than the ctest default.  Any violation exits nonzero
+    # with the checker's diagnostic and the reproduction seed.
+    FIREFLY_FUZZ_SEEDS=10 FIREFLY_FUZZ_STEPS=4000 \
+        "$builddir/bench/firefly_fuzz" --jobs="$(nproc)"
+    echo "check.sh: all green (fuzz)"
+    exit 0
+fi
 
 cmake -B "$builddir" -S "$repo" \
     ${sanitize:+-DFIREFLY_SANITIZE="$sanitize"}
@@ -45,6 +63,9 @@ if [ "$sanitize" = thread ]; then
         echo "stats diverge between --jobs=1 and --jobs=4" >&2
         exit 1
     }
+    # The fuzz corpus shares checker state across sweep workers; it
+    # must be race-clean too.
+    "$builddir/bench/firefly_fuzz" --jobs=4 > /dev/null
     echo "check.sh: all green (sanitize=thread)"
     exit 0
 fi

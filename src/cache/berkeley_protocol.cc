@@ -64,7 +64,7 @@ BerkeleyProtocol::snoopProbe(const CacheLine &line,
 
 void
 BerkeleyProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
-                             unsigned) const
+                             unsigned line_words) const
 {
     switch (txn.type) {
       case MBusOpType::MRead:
@@ -82,9 +82,24 @@ BerkeleyProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
       case MBusOpType::MWrite:
         // DMA write or foreign victim write updated memory behind
         // our back: drop the copy rather than merge (Berkeley has no
-        // update path).
-        if (txn.updatesMemory)
+        // update path) - unless it is a *partial* write into a line
+        // we own.  Memory received only the written word(s), so
+        // dropping our copy would orphan the other dirty words;
+        // merge and keep ownership instead.
+        if (!txn.updatesMemory)
+            break;
+        if (needsWriteback(line.state) && txn.words < line_words) {
+            for (unsigned i = 0; i < txn.words; ++i) {
+                const Addr a = txn.addr + i * bytesPerWord;
+                if (a >= line.base &&
+                    a < line.base + line_words * bytesPerWord) {
+                    line.data[(a - line.base) / bytesPerWord] =
+                        txn.data[i];
+                }
+            }
+        } else {
             line.state = LineState::Invalid;
+        }
         break;
     }
 }

@@ -214,6 +214,8 @@ Cache::tryFastPath(const MemRef &ref, Word &out)
     if (!isWrite(ref.type)) {
         countRef(ref, true);
         out = readWord(line, ref.addr);
+        if (checkObs)
+            checkObs->loadObserved(ref.addr, out, *this, "hit");
         return true;
     }
     if (proto->writeHit(line) == WriteHitAction::Silent) {
@@ -222,6 +224,11 @@ Cache::tryFastPath(const MemRef &ref, Word &out)
         const LineState old = line.state;
         line.state = LineState::Dirty;
         traceLine(line.base, old, line.state, "write-hit");
+        // The line is exclusive (a silent write requires it), so the
+        // local write instant is the global serialization instant.
+        if (checkObs)
+            checkObs->writeSerialized(ref.addr, ref.value, *this,
+                                      "write-hit");
         out = 0;
         return true;
     }
@@ -285,7 +292,11 @@ Cache::dispatchHead()
         } else {
             ++dmaReads;
             if (hit) {
-                finishHead(readWord(line, p.ref.addr));
+                const Word value = readWord(line, p.ref.addr);
+                if (checkObs)
+                    checkObs->loadObserved(p.ref.addr, value, *this,
+                                           "dma-hit");
+                finishHead(value);
             } else {
                 ++dmaReadMisses;
                 MBusTransaction txn;
@@ -314,7 +325,10 @@ Cache::dispatchHead()
 
     if (!isWrite(p.ref.type)) {
         if (hit) {
-            finishHead(readWord(line, p.ref.addr));
+            const Word value = readWord(line, p.ref.addr);
+            if (checkObs)
+                checkObs->loadObserved(p.ref.addr, value, *this, "hit");
+            finishHead(value);
             return;
         }
         if (line.valid() && needsWriteback(line.state)) {
@@ -376,6 +390,9 @@ Cache::applyWriteHit(CacheLine &line, const MemRef &ref)
         const LineState old = line.state;
         line.state = LineState::Dirty;
         traceLine(line.base, old, line.state, "write-hit");
+        if (checkObs)
+            checkObs->writeSerialized(ref.addr, ref.value, *this,
+                                      "write-hit");
         finishHead(0);
         break;
       }
@@ -499,6 +516,13 @@ Cache::snoopComplete(const MBusTransaction &txn)
     CacheLine &line = lineFor(txn.addr);
     if (!line.valid() || !tagMatch(line, txn.addr))
         return;
+    // A DMA read installs no cached copy anywhere, so no snoop
+    // transition is warranted: in particular a dirty owner must NOT
+    // demote to clean-shared, because the bus captured only the
+    // word(s) the engine asked for - the rest of the line would be
+    // orphaned dirty with nobody left owing the write-back.
+    if (txn.type == MBusOpType::MRead && txn.kind == MBusOpKind::DmaRead)
+        return;
     const bool was_valid = line.valid();
     const LineState old = line.state;
     proto->snoopApply(line, txn, _lineWords);
@@ -512,6 +536,28 @@ Cache::snoopComplete(const MBusTransaction &txn)
         ++invalidationsReceived;
     } else if (txn.type == MBusOpType::MWrite && line.valid()) {
         ++updatesReceived;
+    }
+}
+
+void
+Cache::refreshWriteData(MBusTransaction &txn)
+{
+    if (txn.kind != MBusOpKind::VictimWrite)
+        return;
+    // The victim's data is driven in the bus write-data cycle, not
+    // latched at request time.  A snooped write that merged into the
+    // line while this request waited for the bus (a DMA write - the
+    // I/O cache outranks us in arbitration) must be part of what we
+    // write back, or memory ends up holding pre-DMA data.
+    CacheLine &line = lineFor(txn.addr);
+    if (line.valid() && line.base == txn.addr) {
+        for (unsigned i = 0; i < txn.words; ++i)
+            txn.data[i] = line.data[i];
+    } else {
+        // The line was invalidated while the write-back waited (a
+        // full-line overwrite snooped by an invalidation protocol):
+        // drive nothing, or we would overwrite the newer data.
+        txn.updatesMemory = false;
     }
 }
 
@@ -547,10 +593,14 @@ Cache::transactionDone(const MBusTransaction &txn)
             line.data[i] = txn.data[i];
         line.state = proto->fillState(txn.mshared);
         traceLine(line.base, LineState::Invalid, line.state, "fill");
-        if (!isWrite(p.ref.type))
-            finishHead(readWord(line, p.ref.addr));
-        else
+        if (!isWrite(p.ref.type)) {
+            const Word value = readWord(line, p.ref.addr);
+            if (checkObs)
+                checkObs->loadObserved(p.ref.addr, value, *this, "fill");
+            finishHead(value);
+        } else {
             applyWriteHit(line, p.ref);
+        }
         break;
       }
 
@@ -567,6 +617,11 @@ Cache::transactionDone(const MBusTransaction &txn)
         line.state = proto->ownedState();
         traceLine(line.base, LineState::Invalid, line.state,
                   "read-owned");
+        // The write serializes at the commit of the MReadOwned that
+        // carried it (other copies died in its snoop).
+        if (checkObs)
+            checkObs->writeSerialized(p.ref.addr, p.ref.value, *this,
+                                      "read-owned");
         finishHead(0);
         break;
       }
@@ -618,6 +673,9 @@ Cache::transactionDone(const MBusTransaction &txn)
             const LineState old = line.state;
             line.state = proto->ownedState();
             traceLine(line.base, old, line.state, "invalidate");
+            if (checkObs)
+                checkObs->writeSerialized(p.ref.addr, p.ref.value,
+                                          *this, "invalidate");
             finishHead(0);
         } else {
             // We lost an ownership race: another cache invalidated
@@ -630,6 +688,9 @@ Cache::transactionDone(const MBusTransaction &txn)
       }
 
       case Stage::DmaRead:
+        if (checkObs)
+            checkObs->loadObserved(p.ref.addr, txn.data[0], *this,
+                                   "dma-fill");
         finishHead(txn.data[0]);
         break;
 
@@ -637,9 +698,18 @@ Cache::transactionDone(const MBusTransaction &txn)
         CacheLine &line = lineFor(p.ref.addr);
         if (line.valid() && tagMatch(line, p.ref.addr)) {
             writeWord(line, p.ref.addr, p.ref.value);
-            if (!(line.state == LineState::Dirty && _lineWords > 1)) {
+            // A partial DMA write into a line we own (Dirty, or
+            // SharedDirty under Berkeley/Dragon) must not launder the
+            // ownership state: memory received only the DMA word, so
+            // we still owe it the others.  Otherwise memory now holds
+            // everything we do, so the copy is clean - the same state
+            // a fresh fill would install, NOT afterWriteThrough(),
+            // whose Dragon meaning (update: writer becomes owner,
+            // memory unchanged) would claim ownership a snooping
+            // owner never gave up.
+            if (!(needsWriteback(line.state) && _lineWords > 1)) {
                 const LineState old = line.state;
-                line.state = proto->afterWriteThrough(txn.mshared);
+                line.state = proto->fillState(txn.mshared);
                 traceLine(line.base, old, line.state, "dma-write");
             }
         }

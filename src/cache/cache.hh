@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/coherence_observer.hh"
 #include "cache/mem_ref.hh"
 #include "cache/protocol.hh"
 #include "mbus/mbus.hh"
@@ -97,6 +98,17 @@ class Cache : public MBusClient
 
     /** The line the address maps to (valid or not). */
     const CacheLine &lineAt(Addr byte_addr) const;
+    /** Every line, for whole-cache scans (src/check/). */
+    const std::vector<CacheLine> &allLines() const { return lines; }
+    /**
+     * Attach a coherence checker (nullptr detaches).  The observer
+     * is called at every load value binding and write serialization
+     * point; with none attached every hook site is a null check.
+     */
+    void setCoherenceObserver(CoherenceObserver *observer)
+    {
+        checkObs = observer;
+    }
     /** True if the address is present in a valid line. */
     bool holds(Addr byte_addr) const;
     /** Fraction of valid lines that need write-back (paper's D). */
@@ -114,6 +126,7 @@ class Cache : public MBusClient
     void snoopSupplyData(const MBusTransaction &txn, Word *out) override;
     void snoopComplete(const MBusTransaction &txn) override;
     void transactionDone(const MBusTransaction &txn) override;
+    void refreshWriteData(MBusTransaction &txn) override;
 
     // Statistics counters, public so benches can read them directly.
     Counter refsInstr, refsRead, refsWrite;
@@ -201,6 +214,8 @@ class Cache : public MBusClient
 
     std::deque<PendingAccess> queue;
     bool engineBusy = false;  ///< head of queue has a bus op in flight
+
+    CoherenceObserver *checkObs = nullptr;
 
     Cycle tagBusyCycle = ~Cycle{0};
 

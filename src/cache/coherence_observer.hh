@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hook interface for a coherence correctness checker.
+ *
+ * The cache engine and the on-chip cache call these hooks at the
+ * simulated instants that matter for coherence:
+ *
+ *  - writeSerialized(): a store became globally visible.  For silent
+ *    write-back hits that is the write instant itself (the line is
+ *    exclusive, so local visibility is global visibility); for
+ *    ownership-acquiring writes (MInvalidate, MReadOwned) it is the
+ *    commit of the acquiring bus transaction.  Bus MWrites serialize
+ *    on the bus and are observed there, not here (mbus.hh
+ *    addCommitObserver).
+ *  - loadObserved(): a load bound its return value - fast-path hits,
+ *    fill completions, DMA reads.
+ *  - onChipInstalled()/onChipHit(): the tags-only CVAX on-chip cache
+ *    installed a line / served an access from it.  The on-chip cache
+ *    stores no data, so the checker validates it by snapshotting the
+ *    oracle at install time and comparing on every hit: a divergence
+ *    means the non-snooping structure would have served stale data.
+ *
+ * Implementations live in src/check/; everything below that layer
+ * sees only this interface.  All hooks are called with the observer
+ * attached explicitly (never a global), so independent simulations on
+ * harness worker threads do not share checker state.
+ */
+
+#ifndef FIREFLY_CACHE_COHERENCE_OBSERVER_HH
+#define FIREFLY_CACHE_COHERENCE_OBSERVER_HH
+
+#include "cache/mem_ref.hh"
+#include "sim/types.hh"
+
+namespace firefly
+{
+
+class Cache;
+class OnChipCache;
+
+/** Checker-side interface for coherence-relevant instants. */
+class CoherenceObserver
+{
+  public:
+    virtual ~CoherenceObserver() = default;
+
+    /**
+     * A store to `addr` became the globally-visible value.  `how`
+     * names the serialization point ("write-hit", "read-owned",
+     * "invalidate") for diagnostics.
+     */
+    virtual void writeSerialized(Addr addr, Word value, const Cache &by,
+                                 const char *how) = 0;
+
+    /** A load of `addr` bound `value` as its result. */
+    virtual void loadObserved(Addr addr, Word value, const Cache &by,
+                              const char *how) = 0;
+
+    /** The on-chip cache installed the line containing `addr`. */
+    virtual void onChipInstalled(Addr line_base, const OnChipCache &by) = 0;
+
+    /** The on-chip cache served `ref` without consulting the board
+     *  cache. */
+    virtual void onChipHit(const MemRef &ref, const OnChipCache &by) = 0;
+};
+
+} // namespace firefly
+
+#endif // FIREFLY_CACHE_COHERENCE_OBSERVER_HH

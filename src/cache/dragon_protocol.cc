@@ -92,10 +92,18 @@ DragonProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
             line.state = LineState::Shared;
         } else if (txn.updatesMemory) {
             // DMA write or foreign victim write: memory now holds the
-            // written word.  If we owned the line we keep ownership
-            // of the rest; otherwise our clean copy stays clean.
-            if (!needsWriteback(line.state))
+            // written words.  If it covered the whole line our copy
+            // matches memory again - clean, write-back duty gone.  A
+            // partial write leaves us owing the untouched words, but
+            // never with an exclusive claim: the writer kept a copy.
+            const bool covered =
+                txn.addr <= line.base &&
+                txn.addr + txn.words * bytesPerWord >=
+                    line.base + line_words * bytesPerWord;
+            if (covered || !needsWriteback(line.state))
                 line.state = LineState::Shared;
+            else
+                line.state = LineState::SharedDirty;
         }
         break;
       }

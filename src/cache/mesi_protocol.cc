@@ -62,7 +62,7 @@ MesiProtocol::snoopProbe(const CacheLine &line,
 
 void
 MesiProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
-                         unsigned) const
+                         unsigned line_words) const
 {
     switch (txn.type) {
       case MBusOpType::MRead:
@@ -74,9 +74,24 @@ MesiProtocol::snoopApply(CacheLine &line, const MBusTransaction &txn,
         break;
       case MBusOpType::MWrite:
         // DMA write or foreign victim write: invalidate, as MESI has
-        // no update path.
-        if (txn.updatesMemory)
+        // no update path - except a *partial* write into a line we
+        // hold Modified.  Memory received only the written word(s);
+        // invalidating would lose the rest of our dirty data with no
+        // owner left, so merge and keep ownership instead.
+        if (!txn.updatesMemory)
+            break;
+        if (line.state == LineState::Dirty && txn.words < line_words) {
+            for (unsigned i = 0; i < txn.words; ++i) {
+                const Addr a = txn.addr + i * bytesPerWord;
+                if (a >= line.base &&
+                    a < line.base + line_words * bytesPerWord) {
+                    line.data[(a - line.base) / bytesPerWord] =
+                        txn.data[i];
+                }
+            }
+        } else {
             line.state = LineState::Invalid;
+        }
         break;
     }
 }

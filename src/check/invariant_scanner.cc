@@ -1,0 +1,193 @@
+#include "check/invariant_scanner.hh"
+
+#include <set>
+#include <sstream>
+
+#include "obs/trace.hh"
+
+namespace firefly::check
+{
+
+namespace
+{
+
+/** States the protocol can legally leave a line in. */
+bool
+legal(ProtocolKind kind, LineState state)
+{
+    switch (kind) {
+      case ProtocolKind::Firefly:
+      case ProtocolKind::Mesi:
+        return state == LineState::Valid || state == LineState::Dirty ||
+               state == LineState::Shared;
+      case ProtocolKind::Dragon:
+        return state != LineState::Invalid;
+      case ProtocolKind::WriteThroughInvalidate:
+        return state == LineState::Valid;
+      case ProtocolKind::Berkeley:
+        return state == LineState::Dirty ||
+               state == LineState::Shared ||
+               state == LineState::SharedDirty;
+    }
+    return false;
+}
+
+/** States that assert "no other cache holds this line". */
+bool
+exclusive(ProtocolKind kind, LineState state)
+{
+    switch (kind) {
+      case ProtocolKind::WriteThroughInvalidate:
+        // WTI's only state is Valid and it is freely shared.
+        return false;
+      case ProtocolKind::Berkeley:
+        // Berkeley has no exclusive-clean state; only Dirty claims
+        // sole residency.
+        return state == LineState::Dirty;
+      default:
+        return state == LineState::Valid || state == LineState::Dirty;
+    }
+}
+
+} // namespace
+
+bool
+InvariantScanner::stateLegal(LineState state) const
+{
+    return legal(kind, state);
+}
+
+std::vector<InvariantScanner::Holder>
+InvariantScanner::holdersOf(Addr addr) const
+{
+    std::vector<Holder> holders;
+    for (const Cache *cache : caches) {
+        if (cache->holds(addr))
+            holders.push_back({cache, &cache->lineAt(addr)});
+    }
+    return holders;
+}
+
+void
+InvariantScanner::checkLine(Addr addr, const GoldenMemory &oracle,
+                            Cycle now, std::vector<std::string> &out) const
+{
+    if (caches.empty())
+        return;
+    const unsigned words = caches.front()->lineWords();
+    const Addr line_bytes = words * bytesPerWord;
+    const Addr base = addr - addr % line_bytes;
+
+    const auto holders = holdersOf(base);
+
+    // I1: state legality.
+    for (const Holder &h : holders) {
+        if (!stateLegal(h.line->state)) {
+            std::ostringstream os;
+            os << "I1 illegal state: " << h.cache->name() << " holds "
+               << obs::hexAddr(base) << " in state "
+               << toString(h.line->state) << ", which "
+               << toString(kind) << " never produces";
+            out.push_back(os.str());
+        }
+    }
+
+    // I2: at most one owner (write-back responsibility).
+    std::vector<const Cache *> owners;
+    for (const Holder &h : holders) {
+        if (needsWriteback(h.line->state))
+            owners.push_back(h.cache);
+    }
+    if (owners.size() > 1) {
+        std::ostringstream os;
+        os << "I2 multiple owners of " << obs::hexAddr(base) << ":";
+        for (const Cache *cache : owners)
+            os << " " << cache->name();
+        out.push_back(os.str());
+    }
+
+    // I3: exclusive states really are exclusive (MShared agreed).
+    for (const Holder &h : holders) {
+        if (exclusive(kind, h.line->state) && holders.size() > 1) {
+            std::ostringstream os;
+            os << "I3 exclusivity: " << h.cache->name() << " holds "
+               << obs::hexAddr(base) << " in exclusive state "
+               << toString(h.line->state) << " but " << holders.size()
+               << " caches hold the line";
+            out.push_back(os.str());
+        }
+    }
+
+    // I4/I5: word-level data checks.
+    for (unsigned w = 0; w < words; ++w) {
+        const Addr a = base + w * bytesPerWord;
+        bool have = false;
+        Word held = 0;
+        for (const Holder &h : holders) {
+            const Word v = h.line->data[w];
+            if (!have) {
+                have = true;
+                held = v;
+            } else if (v != held) {
+                std::ostringstream os;
+                os << "I4 copies disagree at " << obs::hexAddr(a)
+                   << ": " << holders.front().cache->name() << "="
+                   << obs::hexAddr(held) << " vs " << h.cache->name()
+                   << "=" << obs::hexAddr(v);
+                out.push_back(os.str());
+            }
+        }
+        if (have && !oracle.admissible(now, a, held)) {
+            std::ostringstream os;
+            os << "I4 cached value at " << obs::hexAddr(a) << " is "
+               << obs::hexAddr(held) << " but the oracle says "
+               << obs::hexAddr(oracle.current(a))
+               << " (serialized @" << oracle.writtenAt(a) << ")";
+            out.push_back(os.str());
+        }
+        if (owners.empty() && oracle.tracked(a) &&
+            memory.peek(a) != oracle.current(a)) {
+            std::ostringstream os;
+            os << "I5 no owner for " << obs::hexAddr(a)
+               << " yet memory holds " << obs::hexAddr(memory.peek(a))
+               << ", oracle " << obs::hexAddr(oracle.current(a))
+               << " (serialized @" << oracle.writtenAt(a) << ")";
+            out.push_back(os.str());
+        }
+    }
+}
+
+void
+InvariantScanner::fullScan(const GoldenMemory &oracle, Cycle now,
+                           std::vector<std::string> &out) const
+{
+    std::set<Addr> bases;
+    for (const Cache *cache : caches) {
+        for (const CacheLine &line : cache->allLines()) {
+            if (line.valid())
+                bases.insert(line.base);
+        }
+    }
+    for (const Addr base : bases)
+        checkLine(base, oracle, now, out);
+
+    // Tracked words nobody caches: memory must hold the value (the
+    // per-line pass above only visits resident lines).
+    const Addr line_bytes = caches.empty()
+        ? bytesPerWord
+        : caches.front()->lineWords() * bytesPerWord;
+    for (const auto &[addr, value] : oracle.snapshot()) {
+        if (bases.count(addr - addr % line_bytes))
+            continue;
+        if (memory.peek(addr) != value) {
+            std::ostringstream os;
+            os << "I5 uncached word " << obs::hexAddr(addr)
+               << ": memory holds " << obs::hexAddr(memory.peek(addr))
+               << ", oracle " << obs::hexAddr(value) << " (serialized @"
+               << oracle.writtenAt(addr) << ")";
+            out.push_back(os.str());
+        }
+    }
+}
+
+} // namespace firefly::check

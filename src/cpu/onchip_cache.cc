@@ -56,11 +56,15 @@ OnChipCache::access(const MemRef &ref)
 
     if (match) {
         ++hits;
+        if (checkObs)
+            checkObs->onChipHit(ref, *this);
         return true;
     }
     ++misses;
     entry.valid = true;
     entry.base = lineBaseOf(ref.addr);
+    if (checkObs)
+        checkObs->onChipInstalled(entry.base, *this);
     return false;
 }
 

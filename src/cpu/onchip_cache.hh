@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/coherence_observer.hh"
 #include "cache/mem_ref.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -68,6 +69,15 @@ class OnChipCache
         return cfg.mode == DataMode::InstructionsAndData;
     }
 
+    const std::string &name() const { return statGroup.name(); }
+    Addr lineBytes() const { return cfg.lineBytes; }
+
+    /** Attach a coherence checker (nullptr detaches). */
+    void setCoherenceObserver(CoherenceObserver *observer)
+    {
+        checkObs = observer;
+    }
+
     StatGroup &stats() { return statGroup; }
 
     Counter hits;
@@ -88,6 +98,7 @@ class OnChipCache
 
     Config cfg;
     std::vector<Entry> entries;
+    CoherenceObserver *checkObs = nullptr;
     StatGroup statGroup;
 };
 

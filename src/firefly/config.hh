@@ -64,6 +64,13 @@ struct FireflyConfig
 
     std::uint64_t seed = 1;
 
+    /** Attach the coherence checker (src/check/): every load is
+     *  validated against the golden-memory oracle and protocol
+     *  invariants are scanned after every bus transaction.  Purely
+     *  observational - statistics are unchanged - but costs time;
+     *  off by default. */
+    bool coherenceCheck = false;
+
     /** Module size for this version. */
     Addr moduleBytes() const;
     /** Effective cache geometry after defaulting. */

@@ -53,6 +53,18 @@ FireflySystem::FireflySystem(const FireflyConfig &config)
     statGroup.addChild(&mbus->stats());
     statGroup.addChild(&mem.stats());
     statGroup.addChild(&intc->stats());
+
+    if (cfg.coherenceCheck) {
+        coherenceChecker = std::make_unique<check::CoherenceChecker>(
+            sim, *mbus, mem, cfg.protocol);
+        for (auto &cache : caches)
+            coherenceChecker->watch(*cache);
+        for (auto &chip : onchips) {
+            if (chip)
+                coherenceChecker->watch(*chip);
+        }
+        statGroup.addChild(&coherenceChecker->stats());
+    }
 }
 
 void

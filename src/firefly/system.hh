@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "check/coherence_checker.hh"
 #include "cpu/synthetic_stream.hh"
 #include "cpu/trace_cpu.hh"
 #include "firefly/config.hh"
@@ -71,6 +72,8 @@ class FireflySystem
     /** The primary processor's cache: the DMA path into the machine. */
     Cache &ioCache() { return *caches.at(0); }
     OnChipCache *onChip(unsigned i) { return onchips.at(i).get(); }
+    /** The coherence checker, if cfg.coherenceCheck enabled it. */
+    check::CoherenceChecker *checker() { return coherenceChecker.get(); }
 
     // --- aggregate measurements (Table 2 quantities) --------------------
     double seconds() const { return sim.seconds(); }
@@ -94,6 +97,7 @@ class FireflySystem
     std::vector<std::unique_ptr<OnChipCache>> onchips;
     std::vector<std::unique_ptr<SyntheticStream>> ownedStreams;
     std::vector<std::unique_ptr<TraceCpu>> cpus;
+    std::unique_ptr<check::CoherenceChecker> coherenceChecker;
     StatGroup statGroup;
 };
 

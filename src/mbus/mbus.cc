@@ -51,6 +51,11 @@ MBusClient::transactionDone(const MBusTransaction &)
 {
 }
 
+void
+MBusClient::refreshWriteData(MBusTransaction &)
+{
+}
+
 MBus::MBus(Simulator &sim, MainMemory &memory, std::string name)
     : sim(sim), memory(memory), statGroup(std::move(name)),
       arbWaitHist(16, 2.0)
@@ -193,6 +198,8 @@ MBus::tick(Cycle now)
     ++phaseCycle;
 
     if (phaseCycle == 1) {
+        if (active->type == MBusOpType::MWrite)
+            active->initiator->refreshWriteData(*active);
         probePhase();
         trace(now, "wdata+probe",
               active->type == MBusOpType::MWrite ? "write data driven"
@@ -309,6 +316,9 @@ MBus::completeTransaction()
         ++cacheSupplyCount;
     }
 
+    for (const auto &observer : commitObservers)
+        observer(txn);
+
     if (txn.type != MBusOpType::MRead && !writeObservers.empty()) {
         for (const auto &observer : writeObservers)
             observer(txn.addr, txn.words);
@@ -319,6 +329,9 @@ MBus::completeTransaction()
             client->snoopComplete(txn);
     }
     txn.initiator->transactionDone(txn);
+
+    for (const auto &observer : settleObservers)
+        observer(txn);
 }
 
 double

@@ -123,6 +123,19 @@ class MBusClient
 
     /** Initiator callback: the transaction finished. */
     virtual void transactionDone(const MBusTransaction &txn);
+
+    /**
+     * Initiator callback at the write-data cycle (cycle 1) of an
+     * MWrite: re-drive `txn.data` from current state.  A real bus
+     * master drives its data lines in this cycle, not at request
+     * time, so data that changed while the request waited for the
+     * bus (a snooped DMA write merging into a queued victim line)
+     * must be reflected here.  May clear `txn.updatesMemory` to
+     * squash the memory update entirely (the line was invalidated
+     * while the write-back waited).  Default: keep the request-time
+     * data.
+     */
+    virtual void refreshWriteData(MBusTransaction &txn);
 };
 
 /** The bus proper: arbitration + 4-phase transaction engine. */
@@ -179,6 +192,29 @@ class MBus : public Clocked
         writeObservers.push_back(std::move(observer));
     }
 
+    /**
+     * Observe every transaction at two points of its completion
+     * cycle.  Commit observers run first, before any snoopComplete/
+     * transactionDone callback: this is the serialization instant,
+     * where the coherence checker's oracle learns bus-written values
+     * (a completion callback can synchronously start validating the
+     * next queued access).  Settle observers run last, after every
+     * callback has applied its state changes: this is where the
+     * invariant scanner sees a quiescent machine.
+     */
+    using TxnObserver = std::function<void(const MBusTransaction &)>;
+    void
+    addCommitObserver(TxnObserver observer)
+    {
+        commitObservers.push_back(std::move(observer));
+    }
+
+    void
+    addSettleObserver(TxnObserver observer)
+    {
+        settleObservers.push_back(std::move(observer));
+    }
+
   private:
     struct PendingRequest
     {
@@ -207,6 +243,8 @@ class MBus : public Clocked
 
     TraceHook traceHook;
     std::vector<WriteObserver> writeObservers;
+    std::vector<TxnObserver> commitObservers;
+    std::vector<TxnObserver> settleObservers;
 
     // --- statistics ---------------------------------------------------
     StatGroup statGroup;

@@ -39,10 +39,22 @@ MainMemory::decode(Addr byte_addr)
           "0x%x bytes)", byte_addr, nextBase);
 }
 
+const MemoryModule &
+MainMemory::decode(Addr byte_addr) const
+{
+    return const_cast<MainMemory *>(this)->decode(byte_addr);
+}
+
 Word
 MainMemory::read(Addr byte_addr)
 {
     return decode(byte_addr).read(byte_addr);
+}
+
+Word
+MainMemory::peek(Addr byte_addr) const
+{
+    return decode(byte_addr).peek(byte_addr);
 }
 
 void

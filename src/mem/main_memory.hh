@@ -35,6 +35,13 @@ class MainMemory
 
     Word read(Addr byte_addr);
     void write(Addr byte_addr, Word value);
+    /**
+     * Functional read that bypasses the traffic counters.  The
+     * coherence checker compares cached data against memory after
+     * every bus transaction; counting those reads would perturb the
+     * module statistics the benches report.
+     */
+    Word peek(Addr byte_addr) const;
 
     unsigned moduleCount() const { return modules.size(); }
     MemoryModule &module(unsigned i) { return *modules.at(i); }
@@ -43,6 +50,7 @@ class MainMemory
 
   private:
     MemoryModule &decode(Addr byte_addr);
+    const MemoryModule &decode(Addr byte_addr) const;
 
     std::vector<std::unique_ptr<MemoryModule>> modules;
     Addr nextBase = 0;

@@ -46,4 +46,10 @@ MemoryModule::write(Addr byte_addr, Word value)
     storage.write(toWordIndex(byte_addr), value);
 }
 
+Word
+MemoryModule::peek(Addr byte_addr) const
+{
+    return storage.read(toWordIndex(byte_addr));
+}
+
 } // namespace firefly

@@ -38,6 +38,8 @@ class MemoryModule
 
     Word read(Addr byte_addr);
     void write(Addr byte_addr, Word value);
+    /** Functional read that does not count as module traffic. */
+    Word peek(Addr byte_addr) const;
 
     Addr base() const { return _base; }
     Addr sizeBytes() const { return _sizeBytes; }

@@ -52,6 +52,7 @@ inline constexpr const char *kCatCpu = "Cpu";
 inline constexpr const char *kCatDma = "Dma";
 inline constexpr const char *kCatSched = "Sched";
 inline constexpr const char *kCatRpc = "Rpc";
+inline constexpr const char *kCatCheck = "Check";
 
 /** Event shape, following the Chrome trace-event phases. */
 enum class EventKind : char

@@ -6,11 +6,13 @@
 #ifndef FIREFLY_TESTS_TEST_UTIL_HH
 #define FIREFLY_TESTS_TEST_UTIL_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/protocol.hh"
+#include "check/coherence_checker.hh"
 #include "mbus/mbus.hh"
 #include "mem/main_memory.hh"
 #include "sim/simulator.hh"
@@ -31,15 +33,20 @@ struct TestRig
     std::unique_ptr<MBus> bus;
     std::vector<std::unique_ptr<Cache>> caches;
 
+    /** Builds one protocol instance per cache; empty = makeProtocol. */
+    using ProtocolFactory =
+        std::function<std::unique_ptr<CoherenceProtocol>()>;
+
     explicit TestRig(ProtocolKind kind, unsigned ncaches = 2,
-                     Cache::Geometry geom = {})
+                     Cache::Geometry geom = {},
+                     ProtocolFactory factory = {})
     {
         memory.addModule(4 * 1024 * 1024);
         bus = std::make_unique<MBus>(sim, memory);
         for (unsigned i = 0; i < ncaches; ++i) {
             caches.push_back(std::make_unique<Cache>(
-                sim, *bus, makeProtocol(kind), geom,
-                "cache" + std::to_string(i)));
+                sim, *bus, factory ? factory() : makeProtocol(kind),
+                geom, "cache" + std::to_string(i)));
         }
     }
 
@@ -81,6 +88,29 @@ struct TestRig
         if (!caches[cache_idx]->holds(addr))
             return LineState::Invalid;
         return caches[cache_idx]->lineAt(addr).state;
+    }
+};
+
+/**
+ * A TestRig with the coherence checker (src/check/) attached and
+ * configured to throw CoherenceViolation, so any incoherence the
+ * test provokes fails loudly with a line-level diagnostic.
+ */
+struct CheckedRig : TestRig
+{
+    std::unique_ptr<check::CoherenceChecker> checker;
+
+    explicit CheckedRig(ProtocolKind kind, unsigned ncaches = 2,
+                        Cache::Geometry geom = {},
+                        ProtocolFactory factory = {},
+                        check::CheckerConfig ccfg = {})
+        : TestRig(kind, ncaches, geom, std::move(factory))
+    {
+        ccfg.throwOnViolation = true;
+        checker = std::make_unique<check::CoherenceChecker>(
+            sim, *bus, memory, kind, ccfg);
+        for (auto &cache : caches)
+            checker->watch(*cache);
     }
 };
 
