@@ -106,7 +106,8 @@ experiment()
         // Stream DMA writes continuously (writes always use the bus).
         std::function<void()> feed = [&] {
             qbus.engine().writeWords(
-                0x0030'0000, std::vector<Word>(256, 1), [&] { feed(); });
+                0x0030'0000, std::vector<Word>(256, 1),
+                [&](IoStatus) { feed(); });
         };
         feed();
         sys.simulator().run(secondsToCycles(0.05));

@@ -278,30 +278,54 @@ rule()
     std::printf("--------------------------------------------------------------\n");
 }
 
+/**
+ * An extra "--name=value" option one specific bench understands
+ * (e.g. the fault-injection flags of firefly_faults/firefly_fuzz).
+ * Benches that do not register a flag reject it like any other
+ * unknown argument, so "--fault-rate=" on a fault-unaware bench is a
+ * hard usage error, never silently ignored.
+ */
+struct ExtraFlag
+{
+    const char *prefix;  ///< "--fault-rate=" (trailing '=' included)
+    const char *help;    ///< one-line description for --help
+    /** Parses the value; return false to reject it (usage error). */
+    std::function<bool(const std::string &value)> parse;
+};
+
 /** Print the option summary every bench binary shares. */
 inline void
-printUsage(const char *prog)
+printUsage(const char *prog, const std::vector<ExtraFlag> &extras = {})
 {
     std::fprintf(stderr,
                  "usage: %s [options]\n"
                  "  --stats-json=FILE   write the headline stat tree as JSON\n"
                  "  --trace-out=FILE    record a Chrome trace-event JSON file\n"
                  "  --debug-flags=A,B   enable debug-trace categories\n"
-                 "                      (MBus, Cache, Cpu, Dma, Sched, Rpc)\n"
+                 "                      (MBus, Cache, Cpu, Dma, Sched, Rpc,\n"
+                 "                      Fault)\n"
                  "  --jobs=N            run sweep points on N worker threads\n"
                  "  --gbench            also run google-benchmark "
                  "microbenchmarks\n"
                  "                      (--benchmark_* options pass through)\n",
                  prog);
+    for (const ExtraFlag &flag : extras)
+        std::fprintf(stderr, "  %-19s %s\n", flag.prefix, flag.help);
+    std::fprintf(stderr,
+                 "Fault-injection flags (--fault-rate=F, --fault-seed=N) "
+                 "exist only on the\nfault-aware benches (firefly_faults, "
+                 "firefly_fuzz); every other bench\nrejects them.\n");
 }
 
 /**
  * Standard main body: parse the shared options (rejecting anything
  * unrecognized), run the experiment under the requested sinks, then
  * google-benchmark if requested.  Returns the process exit code.
+ * `extras` registers bench-specific "--name=value" flags.
  */
 inline int
-runBenchMain(int argc, char **argv, void (*experiment)())
+runBenchMain(int argc, char **argv, void (*experiment)(),
+             const std::vector<ExtraFlag> &extras = {})
 {
     bool gbench = false;
     ObsOptions &opts = obsOptions();
@@ -317,7 +341,7 @@ runBenchMain(int argc, char **argv, void (*experiment)())
         if (value.empty()) {
             std::fprintf(stderr, "%s: option '%s' requires a value\n",
                          argv[0], arg);
-            printUsage(argv[0]);
+            printUsage(argv[0], extras);
             std::exit(2);
         }
         return value;
@@ -329,7 +353,7 @@ runBenchMain(int argc, char **argv, void (*experiment)())
             gbench = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
-            printUsage(argv[0]);
+            printUsage(argv[0], extras);
             return 0;
         } else if (auto v = valueOf(arg, "--stats-json=")) {
             opts.statsJsonPath = *v;
@@ -345,17 +369,34 @@ runBenchMain(int argc, char **argv, void (*experiment)())
                              "%s: --jobs needs an integer in [1, 1024], "
                              "got '%s'\n",
                              argv[0], v->c_str());
-                printUsage(argv[0]);
+                printUsage(argv[0], extras);
                 return 2;
             }
             opts.jobs = static_cast<unsigned>(n);
         } else if (std::strncmp(arg, "--benchmark_", 12) == 0) {
             // Left in argv for benchmark::Initialize below.
         } else {
-            std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
-                         argv[0], arg);
-            printUsage(argv[0]);
-            return 2;
+            bool matched = false;
+            for (const ExtraFlag &flag : extras) {
+                auto v = valueOf(arg, flag.prefix);
+                if (!v)
+                    continue;
+                if (!flag.parse(*v)) {
+                    std::fprintf(stderr,
+                                 "%s: bad value for '%s': '%s'\n",
+                                 argv[0], flag.prefix, v->c_str());
+                    printUsage(argv[0], extras);
+                    return 2;
+                }
+                matched = true;
+                break;
+            }
+            if (!matched) {
+                std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
+                             argv[0], arg);
+                printUsage(argv[0], extras);
+                return 2;
+            }
         }
     }
     if (!opts.debugFlags.empty())

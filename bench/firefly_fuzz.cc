@@ -17,11 +17,21 @@
  *
  * (Environment variables, because the bench CLI rejects unknown
  * flags; --jobs=N parallelizes the sweep as usual.)
+ *
+ * Fault injection (src/fault/) composes with the corpus:
+ *
+ *   --fault-rate=F   inject bus parity, single-bit ECC, and device
+ *                    timeout faults at per-draw rate F into every run
+ *   --fault-seed=N   fault-plan seed (default: the corpus base seed)
+ *
+ * Faults change timing, never values, so the oracle and the
+ * differential pass must stay clean with any rate.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +76,25 @@ constexpr Shape kShapes[] = {
      }},
 };
 
+std::optional<double> gFaultRate;     // --fault-rate=F
+std::optional<std::uint64_t> gFaultSeed;  // --fault-seed=N
+
+/** Arm the fault campaign on one corpus point, if requested. */
+void
+applyFaults(FuzzConfig &cfg, std::uint64_t base)
+{
+    if (!gFaultRate)
+        return;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = gFaultSeed.value_or(base);
+    cfg.faults.rates.busParity = *gFaultRate;
+    cfg.faults.rates.eccSingle = *gFaultRate;
+    cfg.faults.rates.deviceTimeout = *gFaultRate;
+    // Unrecoverable faults surface as a catchable MachineCheck with
+    // the reproduction banner, not an abort.
+    cfg.faults.throwOnMachineCheck = true;
+}
+
 std::uint64_t
 envU64(const char *name, std::uint64_t fallback)
 {
@@ -92,8 +121,16 @@ experiment()
     const unsigned steps =
         static_cast<unsigned>(envU64("FIREFLY_FUZZ_STEPS", 2000));
 
-    std::printf("base seed 0x%llx, %u seeds/cell, %u refs/run\n\n",
+    std::printf("base seed 0x%llx, %u seeds/cell, %u refs/run\n",
                 static_cast<unsigned long long>(base), seeds, steps);
+    if (gFaultRate) {
+        std::printf("fault injection armed: rate %g, fault seed "
+                    "0x%llx\n",
+                    *gFaultRate,
+                    static_cast<unsigned long long>(
+                        gFaultSeed.value_or(base)));
+    }
+    std::printf("\n");
 
     std::vector<FuzzConfig> corpus;
     for (unsigned p = 0; p < std::size(kProtocols); ++p) {
@@ -104,6 +141,7 @@ experiment()
                 cfg.seed = harness::pointSeed(base, p, sh, s);
                 cfg.steps = steps;
                 kShapes[sh].apply(cfg);
+                applyFaults(cfg, base);
                 corpus.push_back(cfg);
             }
         }
@@ -129,6 +167,7 @@ experiment()
     bench::rule();
     StatGroup summary("fuzz");
     Counter loads, writes, scans, runs;
+    Counter parity, recovered, timeouts;
     summary.addCounter(&runs, "runs", "fuzz executions, all clean");
     summary.addCounter(&loads, "loads_checked",
                        "loads validated against the oracle");
@@ -136,6 +175,12 @@ experiment()
                        "writes serialized into the oracle");
     summary.addCounter(&scans, "full_scans",
                        "whole-machine invariant scans");
+    summary.addCounter(&parity, "parity_errors",
+                       "bus parity NACKs injected");
+    summary.addCounter(&recovered, "parity_recovered",
+                       "NACKed transactions that recovered");
+    summary.addCounter(&timeouts, "device_timeouts",
+                       "DMA requests timed out");
 
     std::size_t at = 0;
     for (unsigned p = 0; p < std::size(kProtocols); ++p) {
@@ -152,6 +197,9 @@ experiment()
                 loads += r.loadsChecked;
                 writes += r.writesTracked;
                 scans += r.fullScans;
+                parity += r.parityErrors;
+                recovered += r.parityRecovered;
+                timeouts += r.deviceTimeouts;
             }
             std::printf("%-10s %-26s %10llu %12llu %12llu %10llu\n",
                         toString(kProtocols[p]), kShapes[sh].name,
@@ -162,6 +210,13 @@ experiment()
         }
     }
     std::printf("\n%zu runs, zero violations.\n", results.size());
+    if (gFaultRate) {
+        std::printf("faults injected: %llu parity NACKs (%llu "
+                    "recovered), %llu device timeouts\n",
+                    static_cast<unsigned long long>(parity.value()),
+                    static_cast<unsigned long long>(recovered.value()),
+                    static_cast<unsigned long long>(timeouts.value()));
+    }
 
     // Differential pass: the reference stream is a pure function of
     // the seed, so all five protocols must return identical values
@@ -176,6 +231,7 @@ experiment()
             cfg.seed = harness::pointSeed(base, 900, s);
             cfg.steps = steps;
             cfg.recordLoads = true;
+            applyFaults(cfg, base);
             points.push_back(cfg);
         }
         const auto runs_out = bench::runSweep(
@@ -203,5 +259,28 @@ experiment()
 int
 main(int argc, char **argv)
 {
-    return firefly::bench::runBenchMain(argc, argv, experiment);
+    const std::vector<bench::ExtraFlag> flags = {
+        {"--fault-rate=",
+         "inject parity/ECC/device faults at per-draw rate F",
+         [](const std::string &value) {
+             char *end = nullptr;
+             const double rate = std::strtod(value.c_str(), &end);
+             if (*end != '\0' || rate < 0.0 || rate > 1.0)
+                 return false;
+             gFaultRate = rate;
+             return true;
+         }},
+        {"--fault-seed=",
+         "seed for the fault plan (default: corpus base seed)",
+         [](const std::string &value) {
+             char *end = nullptr;
+             const unsigned long long n =
+                 std::strtoull(value.c_str(), &end, 0);
+             if (*end != '\0')
+                 return false;
+             gFaultSeed = n;
+             return true;
+         }},
+    };
+    return firefly::bench::runBenchMain(argc, argv, experiment, flags);
 }

@@ -7,6 +7,7 @@
 #   scripts/check.sh undefined       # UBSan build
 #   scripts/check.sh thread          # ThreadSanitizer build
 #   scripts/check.sh fuzz            # coherence fuzzing under ASan
+#   scripts/check.sh faults          # fault injection under ASan
 #
 # Each variant uses its own build directory so they do not trample
 # one another's caches.  The thread variant runs the tests labelled
@@ -15,7 +16,11 @@
 # without paying TSan's ~10x slowdown on the whole cycle-level suite.
 # The fuzz variant runs the "checker"-labelled tests plus the
 # fixed-seed firefly_fuzz corpus (5 protocols x 3 machine shapes)
-# under AddressSanitizer; see DESIGN.md section 9.
+# under AddressSanitizer; see DESIGN.md section 9.  The faults
+# variant runs the "faults"-labelled tests, the firefly_faults
+# availability experiment (with a --jobs determinism check), and the
+# fuzz corpus with fault injection armed, all under ASan with the
+# coherence checker on; see DESIGN.md section 10.
 set -eu
 
 sanitize="${1:-}"
@@ -27,8 +32,9 @@ case "$sanitize" in
     undefined) builddir="$repo/build-ubsan" ;;
     thread)    builddir="$repo/build-tsan" ;;
     fuzz)      builddir="$repo/build-asan" ;;
+    faults)    builddir="$repo/build-asan" ;;
     *)
-        echo "usage: $0 [address|undefined|thread|fuzz]" >&2
+        echo "usage: $0 [address|undefined|thread|fuzz|faults]" >&2
         exit 2
         ;;
 esac
@@ -43,6 +49,42 @@ if [ "$sanitize" = fuzz ]; then
     FIREFLY_FUZZ_SEEDS=10 FIREFLY_FUZZ_STEPS=4000 \
         "$builddir/bench/firefly_fuzz" --jobs="$(nproc)"
     echo "check.sh: all green (fuzz)"
+    exit 0
+fi
+
+if [ "$sanitize" = faults ]; then
+    cmake -B "$builddir" -S "$repo" -DFIREFLY_SANITIZE=address
+    cmake --build "$builddir" -j "$(nproc)"
+    (cd "$builddir" && ctest --output-on-failure -j "$(nproc)" -L faults)
+    faultdir="$(mktemp -d)"
+    trap 'rm -rf "$faultdir"' EXIT
+    # The availability experiment: recoverable faults recover, device
+    # timeouts fail gracefully, a fenced CPU leaves a working N-1
+    # machine - and the same fault config exports a byte-identical
+    # stats file whatever --jobs is.
+    "$builddir/bench/firefly_faults" --jobs=1 \
+        --stats-json="$faultdir/serial.json" > /dev/null
+    "$builddir/bench/firefly_faults" --jobs=8 \
+        --stats-json="$faultdir/parallel.json" > /dev/null
+    cmp "$faultdir/serial.json" "$faultdir/parallel.json" || {
+        echo "fault stats diverge between --jobs=1 and --jobs=8" >&2
+        exit 1
+    }
+    # The coherence fuzz corpus with faults armed: injected parity,
+    # ECC, and device timeouts must never perturb load values.
+    FIREFLY_FUZZ_SEEDS=4 FIREFLY_FUZZ_STEPS=1500 \
+        "$builddir/bench/firefly_fuzz" --fault-rate=0.01 \
+        --jobs="$(nproc)"
+    # Fault flags exist only on the fault-aware benches; everything
+    # else must reject them as unknown arguments.
+    for bench in bench_scaling bench_protocols bench_io_dma; do
+        if "$builddir/bench/$bench" --fault-rate=0.01 \
+                > /dev/null 2>&1; then
+            echo "$bench accepted --fault-rate; it must reject it" >&2
+            exit 1
+        fi
+    done
+    echo "check.sh: all green (faults)"
     exit 0
 fi
 
@@ -64,8 +106,11 @@ if [ "$sanitize" = thread ]; then
         exit 1
     }
     # The fuzz corpus shares checker state across sweep workers; it
-    # must be race-clean too.
+    # must be race-clean too - with and without fault injection.
     "$builddir/bench/firefly_fuzz" --jobs=4 > /dev/null
+    FIREFLY_FUZZ_SEEDS=2 FIREFLY_FUZZ_STEPS=800 \
+        "$builddir/bench/firefly_fuzz" --fault-rate=0.01 --jobs=4 \
+        > /dev/null
     echo "check.sh: all green (sanitize=thread)"
     exit 0
 fi

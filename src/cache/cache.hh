@@ -91,6 +91,9 @@ class Cache : public MBusClient
     void flushFunctional();
 
     // --- introspection --------------------------------------------------
+    /** No queued CPU/DMA accesses and no bus operation in flight.
+     *  Used when draining a processor for offlining. */
+    bool idle() const { return queue.empty() && !engineBusy; }
     const std::string &name() const { return _name; }
     CoherenceProtocol &protocol() { return *proto; }
     unsigned lineWords() const { return _lineWords; }

@@ -134,6 +134,17 @@ runFuzz(const FuzzConfig &cfg)
     // Cache 0 plays the I/O processor: DMA flows through it.
     DmaEngine dma(sim, *caches[0], 16 * 1024 * 1024);
 
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (cfg.faults.active()) {
+        injector = std::make_unique<fault::FaultInjector>(cfg.faults);
+        bus.setFaultInjector(injector.get());
+        memory.setFaultInjector(injector.get());
+        dma.setFaultInjector(injector.get());
+        // Throw mode: a wedge under fault injection is a test
+        // failure, not a reason to kill the whole process.
+        sim.setWatchdog(cfg.faults.watchdogCycles, true);
+    }
+
     Rng rng(cfg.seed);
     const std::vector<FuzzOp> ops = generateOps(cfg, rng);
 
@@ -175,14 +186,30 @@ runFuzz(const FuzzConfig &cfg)
             ++result.stores;
             break;
           case FuzzOp::Kind::DmaRead: {
-            bool done = false;
+            // Retry timed-out transfers with the injector's budget,
+            // then give up gracefully (the op is skipped; every
+            // protocol skips the same ops for a given seed).
+            IoStatus status = IoStatus::Ok;
             std::vector<Word> values;
-            dma.readWords(op.addr, op.words, [&](std::vector<Word> v) {
-                done = true;
-                values = std::move(v);
-            });
-            while (!done)
-                sim.run(1);
+            for (unsigned attempt = 0;; ++attempt) {
+                bool done = false;
+                dma.readWords(op.addr, op.words,
+                              [&](IoStatus st, std::vector<Word> v) {
+                                  done = true;
+                                  status = st;
+                                  values = std::move(v);
+                              });
+                while (!done)
+                    sim.run(1);
+                if (status == IoStatus::Ok || !injector ||
+                    attempt + 1 >= injector->config().deviceRetryBudget)
+                    break;
+                ++injector->deviceRetries;
+            }
+            if (status != IoStatus::Ok) {
+                ++injector->deviceFailures;
+                break;
+            }
             result.dmaReads += op.words;
             if (cfg.recordLoads) {
                 result.loadLog.insert(result.loadLog.end(),
@@ -191,10 +218,24 @@ runFuzz(const FuzzConfig &cfg)
             break;
           }
           case FuzzOp::Kind::DmaWrite: {
-            bool done = false;
-            dma.writeWords(op.addr, op.data, [&] { done = true; });
-            while (!done)
-                sim.run(1);
+            IoStatus status = IoStatus::Ok;
+            for (unsigned attempt = 0;; ++attempt) {
+                bool done = false;
+                dma.writeWords(op.addr, op.data, [&](IoStatus st) {
+                    done = true;
+                    status = st;
+                });
+                while (!done)
+                    sim.run(1);
+                if (status == IoStatus::Ok || !injector ||
+                    attempt + 1 >= injector->config().deviceRetryBudget)
+                    break;
+                ++injector->deviceRetries;
+            }
+            if (status != IoStatus::Ok) {
+                ++injector->deviceFailures;
+                break;
+            }
             result.dmaWrites += op.words;
             break;
           }
@@ -209,6 +250,14 @@ runFuzz(const FuzzConfig &cfg)
     result.loadsChecked = checker.loadsChecked.value();
     result.writesTracked = checker.writesTracked.value();
     result.fullScans = checker.fullScans.value();
+    if (injector) {
+        result.parityErrors = injector->parityErrors.value();
+        result.parityRecovered = injector->parityRecovered.value();
+        result.eccCorrected = injector->eccCorrected.value();
+        result.deviceTimeouts = injector->deviceTimeouts.value();
+        result.deviceRetries = injector->deviceRetries.value();
+        result.deviceFailures = injector->deviceFailures.value();
+    }
     return result;
 }
 

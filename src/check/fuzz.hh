@@ -34,6 +34,7 @@
 
 #include "cache/protocol.hh"
 #include "check/coherence_checker.hh"
+#include "fault/fault_injector.hh"
 
 namespace firefly::check
 {
@@ -67,6 +68,15 @@ struct FuzzConfig
     bool recordLoads = false;
 
     /**
+     * Fault injection (off by default).  Faults are drawn per-event
+     * in issue order, so for a given seed the same faults hit the
+     * same operations whatever the protocol - recoverable faults must
+     * not perturb the differential load log.  The fuzz machine runs
+     * with the wedge watchdog in throw mode.
+     */
+    fault::FaultConfig faults;
+
+    /**
      * Protocol factory, overridable so tests can inject a broken
      * protocol and prove the checker has teeth.  Default:
      * makeProtocol(protocol).
@@ -87,6 +97,14 @@ struct FuzzResult
     std::uint64_t fullScans = 0;
     /** Every load value in issue order (when cfg.recordLoads). */
     std::vector<Word> loadLog;
+
+    // Fault/recovery activity (zero when faults are off).
+    std::uint64_t parityErrors = 0;
+    std::uint64_t parityRecovered = 0;
+    std::uint64_t eccCorrected = 0;
+    std::uint64_t deviceTimeouts = 0;
+    std::uint64_t deviceRetries = 0;
+    std::uint64_t deviceFailures = 0;
 };
 
 /**

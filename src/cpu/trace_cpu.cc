@@ -43,6 +43,18 @@ TraceCpu::tick(Cycle now)
         ++memWaitTicks;
         return;
     }
+    // Doing work (compute or issue) is watchdog progress; stalling on
+    // a lost memory completion deliberately is not.
+    sim.noteProgress();
+    if (fenced) {
+        // Outstanding state is drained (no miss in flight); stop
+        // issuing and halt.  The cache may still hold dirty lines -
+        // the offlining host flushes them once the bus drains too.
+        _halted = true;
+        if (auto *ts = obs::traceSink())
+            ts->instant(sim.now(), obs::kCatCpu, _name, "fenced");
+        return;
+    }
     if (computeRemaining > 0) {
         --computeRemaining;
         ++computeTickCount;

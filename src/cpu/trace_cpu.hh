@@ -69,6 +69,14 @@ class TraceCpu : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Fence the processor: it stops issuing new work, drains any
+     * outstanding miss, then halts.  Used to offline a processor
+     * mid-run; a fenced processor never resumes.
+     */
+    void fence() { fenced = true; }
+    bool isFenced() const { return fenced; }
+
     bool halted() const { return _halted; }
     const std::string &name() const { return _name; }
 
@@ -110,6 +118,7 @@ class TraceCpu : public Clocked
     OnChipCache *onchip;
 
     bool _halted = false;
+    bool fenced = false;
     bool waitingForMem = false;
     bool hasPending = false;
     CpuStep pending{};

@@ -22,6 +22,7 @@
 #include "cache/cache.hh"
 #include "cache/protocol.hh"
 #include "cpu/onchip_cache.hh"
+#include "fault/fault_injector.hh"
 #include "sim/types.hh"
 
 namespace firefly
@@ -70,6 +71,11 @@ struct FireflyConfig
      *  observational - statistics are unchanged - but costs time;
      *  off by default. */
     bool coherenceCheck = false;
+
+    /** Fault-injection campaign (src/fault/).  Inactive by default;
+     *  when active the system owns a FaultInjector wired into the
+     *  bus, memory, and the event-queue watchdog. */
+    fault::FaultConfig faults;
 
     /** Module size for this version. */
     Addr moduleBytes() const;

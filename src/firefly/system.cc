@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -53,6 +54,21 @@ FireflySystem::FireflySystem(const FireflyConfig &config)
     statGroup.addChild(&mbus->stats());
     statGroup.addChild(&mem.stats());
     statGroup.addChild(&intc->stats());
+
+    if (cfg.faults.active()) {
+        injector = std::make_unique<fault::FaultInjector>(cfg.faults);
+        mbus->setFaultInjector(injector.get());
+        mem.setFaultInjector(injector.get());
+        if (cfg.faults.watchdogCycles != 0) {
+            sim.setWatchdog(cfg.faults.watchdogCycles,
+                            cfg.faults.throwOnMachineCheck);
+        }
+        injector->setMachineCheckHook(
+            [this](const std::string &unit, const std::string &diag) {
+                intc->raiseMachineCheck(unit, diag);
+            });
+        statGroup.addChild(&injector->stats());
+    }
 
     if (cfg.coherenceCheck) {
         coherenceChecker = std::make_unique<check::CoherenceChecker>(
@@ -133,6 +149,35 @@ FireflySystem::runToCompletion(Cycle max_cycles)
         sim.run(1000);
     if (!allHalted())
         warn("runToCompletion hit the cycle limit");
+}
+
+void
+FireflySystem::offlineProcessor(unsigned i, Cycle max_wait)
+{
+    TraceCpu &target = cpu(i);
+    Cache &cache = *caches.at(i);
+    target.fence();
+
+    // Drain: the fenced CPU finishes any outstanding miss and halts,
+    // its cache empties its queue, and the bus forgets it.  The rest
+    // of the machine runs normally meanwhile.
+    const Cycle deadline = sim.now() + max_wait;
+    while (!(target.halted() && cache.idle() && !mbus->busy(&cache))) {
+        if (sim.now() >= deadline) {
+            fatal("offlineProcessor(%u): drain did not finish in "
+                  "%llu cycles", i,
+                  static_cast<unsigned long long>(max_wait));
+        }
+        sim.run(1);
+    }
+
+    // With nothing in flight the dirty lines can be written back
+    // atomically; other caches never see the fenced board again.
+    cache.flushFunctional();
+    if (auto *ts = obs::traceSink()) {
+        ts->instant(sim.now(), obs::kCatCpu, target.name(),
+                    "cpu-offline");
+    }
 }
 
 bool

@@ -60,6 +60,17 @@ class FireflySystem
     void runToCompletion(Cycle max_cycles = 500'000'000);
     bool allHalted() const;
 
+    /**
+     * Offline processor `i` mid-run: fence its CPU, run the machine
+     * until the CPU has halted and its cache and the bus have drained,
+     * then flush the cache's dirty lines to memory.  The rest of the
+     * machine keeps running afterwards.  For Topaz workloads call
+     * TopazRuntime::offlineCpu(i) first so the thread it was running
+     * is requeued elsewhere.  Dies if the drain takes longer than
+     * `max_wait` cycles.
+     */
+    void offlineProcessor(unsigned i, Cycle max_wait = 100'000);
+
     // --- structure ---------------------------------------------------------
     Simulator &simulator() { return sim; }
     MainMemory &memory() { return mem; }
@@ -74,6 +85,8 @@ class FireflySystem
     OnChipCache *onChip(unsigned i) { return onchips.at(i).get(); }
     /** The coherence checker, if cfg.coherenceCheck enabled it. */
     check::CoherenceChecker *checker() { return coherenceChecker.get(); }
+    /** The fault injector, if cfg.faults is active (else nullptr). */
+    fault::FaultInjector *faultInjector() { return injector.get(); }
 
     // --- aggregate measurements (Table 2 quantities) --------------------
     double seconds() const { return sim.seconds(); }
@@ -98,6 +111,7 @@ class FireflySystem
     std::vector<std::unique_ptr<SyntheticStream>> ownedStreams;
     std::vector<std::unique_ptr<TraceCpu>> cpus;
     std::unique_ptr<check::CoherenceChecker> coherenceChecker;
+    std::unique_ptr<fault::FaultInjector> injector;
     StatGroup statGroup;
 };
 

@@ -181,15 +181,25 @@ void
 ColorDisplayController::poll()
 {
     ++polls;
-    qbus.dmaRead(cfg.queueBase, 2, [this](std::vector<Word> header) {
-        if (header[0] == header[1]) {
+    qbus.dmaRead(cfg.queueBase, 2, [this](IoStatus status,
+                                          std::vector<Word> header) {
+        if (status != IoStatus::Ok || header[0] == header[1]) {
+            // Timed-out header read: retry at the poll cadence.
             sim.events().schedule(sim.now() + cfg.pollIntervalCycles,
-                                  [this] { poll(); });
+                                  [this] { poll(); }, "cdc poll");
             return;
         }
         const Addr entry_addr =
             cfg.queueBase + 8 + (header[1] % cfg.queueEntries) * 32;
-        qbus.dmaRead(entry_addr, 8, [this](std::vector<Word> entry) {
+        qbus.dmaRead(entry_addr, 8, [this](IoStatus st,
+                                           std::vector<Word> entry) {
+            if (st != IoStatus::Ok) {
+                // Entry unconsumed; the next poll rereads it.
+                sim.events().schedule(
+                    sim.now() + cfg.pollIntervalCycles,
+                    [this] { poll(); }, "cdc poll");
+                return;
+            }
             executeEntry(std::move(entry));
         });
     });
@@ -227,7 +237,12 @@ ColorDisplayController::executeEntry(std::vector<Word> entry)
         const unsigned first = entry[1];
         const unsigned count = std::min<unsigned>(entry[2], 256);
         qbus.dmaRead(entry[3], count,
-                     [this, first, count](std::vector<Word> map) {
+                     [this, first, count](IoStatus st,
+                                          std::vector<Word> map) {
+                         if (st != IoStatus::Ok) {
+                             finishCommand(cfg.commandOverheadCycles);
+                             return;
+                         }
                          for (unsigned i = 0; i < count; ++i) {
                              fb.setColor(
                                  static_cast<std::uint8_t>(
@@ -246,7 +261,11 @@ ColorDisplayController::executeEntry(std::vector<Word> entry)
         const unsigned w = entry[5], h = entry[6];
         qbus.dmaRead(entry[1], stride * h,
                      [this, stride, dx, dy, w,
-                      h](std::vector<Word> data) {
+                      h](IoStatus st, std::vector<Word> data) {
+                         if (st != IoStatus::Ok) {
+                             finishCommand(cfg.commandOverheadCycles);
+                             return;
+                         }
                          std::uint64_t painted = 0;
                          for (unsigned row = 0; row < h; ++row) {
                              for (unsigned col = 0; col < w; ++col) {
@@ -282,11 +301,20 @@ ColorDisplayController::finishCommand(Cycle busy)
 {
     busyCycles += busy;
     sim.events().schedule(sim.now() + busy, [this] {
-        qbus.dmaRead(cfg.queueBase, 2, [this](std::vector<Word> header) {
+        qbus.dmaRead(cfg.queueBase, 2, [this](IoStatus status,
+                                              std::vector<Word> header) {
+            if (status != IoStatus::Ok) {
+                // Consumer index stays put; the entry re-executes on
+                // the next poll (at-least-once, as on the hardware).
+                sim.events().schedule(
+                    sim.now() + cfg.pollIntervalCycles,
+                    [this] { poll(); }, "cdc poll");
+                return;
+            }
             qbus.dmaWrite(cfg.queueBase + 4, {header[1] + 1},
-                          [this] { poll(); });
+                          [this](IoStatus) { poll(); });
         });
-    });
+    }, "cdc command finish");
 }
 
 } // namespace firefly

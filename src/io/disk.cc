@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -125,7 +126,31 @@ DiskController::pump()
         static_cast<Cycle>(bytes / (cfg.transferKBps * 1024.0) * 1e7);
 
     sim.events().schedule(sim.now() + mech + media_time,
-                          [this, req]() mutable { transfer(req); });
+                          [this, req]() mutable { transfer(req); },
+                          "disk mechanical delay");
+}
+
+void
+DiskController::retryOrFail(Request req)
+{
+    auto *inj = qbus.engine().faultInjector();
+    ++req.attempt;
+    if (inj && req.attempt < inj->config().deviceRetryBudget) {
+        ++inj->deviceRetries;
+        sim.events().schedule(
+            sim.now() + inj->deviceBackoff(req.attempt),
+            [this, req]() mutable { transfer(std::move(req)); },
+            "disk transfer retry");
+        return;
+    }
+    if (inj)
+        ++inj->deviceFailures;
+    warn("%s: %s of %u sectors at lba %u failed after %u attempts",
+         statGroup.name().c_str(), req.isWrite ? "write" : "read",
+         req.sectors, req.lba, req.attempt);
+    if (req.done)
+        req.done(IoStatus::TimedOut);
+    pump();
 }
 
 void
@@ -140,7 +165,12 @@ DiskController::transfer(Request req)
     if (req.isWrite) {
         // DMA the data out of memory, then commit to the media.
         qbus.dmaRead(req.buffer, total_words,
-                     [this, req, media_word](std::vector<Word> data) {
+                     [this, req, media_word](IoStatus status,
+                                             std::vector<Word> data) {
+                         if (status != IoStatus::Ok) {
+                             retryOrFail(req);
+                             return;
+                         }
                          for (unsigned i = 0; i < data.size(); ++i)
                              media.write(media_word + i, data[i]);
                          ++writes;
@@ -149,20 +179,25 @@ DiskController::transfer(Request req)
                              static_cast<double>(sim.now() -
                                                  req.queued));
                          if (req.done)
-                             req.done();
+                             req.done(IoStatus::Ok);
                          pump();
                      });
     } else {
         std::vector<Word> data(total_words);
         for (unsigned i = 0; i < total_words; ++i)
             data[i] = media.read(media_word + i);
-        qbus.dmaWrite(req.buffer, std::move(data), [this, req] {
+        qbus.dmaWrite(req.buffer, std::move(data),
+                      [this, req](IoStatus status) {
+            if (status != IoStatus::Ok) {
+                retryOrFail(req);
+                return;
+            }
             ++reads;
             sectorsMoved += req.sectors;
             serviceCycles.sample(
                 static_cast<double>(sim.now() - req.queued));
             if (req.done)
-                req.done();
+                req.done(IoStatus::Ok);
             pump();
         });
     }

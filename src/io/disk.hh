@@ -49,7 +49,9 @@ class DiskController
         double transferKBps = 625.0; ///< media rate
     };
 
-    using Callback = std::function<void()>;
+    /** Completion callback: Ok, or TimedOut after the DMA engine's
+     *  retry budget is exhausted (the request fails gracefully). */
+    using Callback = std::function<void(IoStatus)>;
 
     DiskController(Simulator &sim, QBus &qbus, std::string name);
     DiskController(Simulator &sim, QBus &qbus, std::string name,
@@ -83,6 +85,7 @@ class DiskController
         Addr buffer;
         Callback done;
         Cycle queued;
+        unsigned attempt = 0;  ///< timed-out DMA transfers so far
     };
 
     unsigned cylinderOf(unsigned lba) const;
@@ -90,6 +93,9 @@ class DiskController
     Cycle mechanicalDelay(const Request &req) const;
     void pump();
     void transfer(Request req);
+    /** A DMA transfer timed out: retry with backoff, or fail the
+     *  request (callback with TimedOut) once the budget is spent. */
+    void retryOrFail(Request req);
 
     Simulator &sim;
     QBus &qbus;

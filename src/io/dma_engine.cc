@@ -2,11 +2,22 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
 {
+
+const char *
+toString(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok: return "ok";
+      case IoStatus::TimedOut: return "timed-out";
+    }
+    return "?";
+}
 
 DmaEngine::DmaEngine(Simulator &sim, Cache &io_cache, Addr io_limit,
                      Cycle cycles_per_word)
@@ -33,12 +44,39 @@ DmaEngine::checkAddress(Addr addr, unsigned count) const
     }
 }
 
+bool
+DmaEngine::injectTimeout(Addr addr, bool is_write)
+{
+    if (!injector || !injector->faultPlan().deviceTimeout())
+        return false;
+    // The transfer never starts; the requester only learns after the
+    // bus timeout expires.  Completing through the event queue (with
+    // TimedOut) keeps hung devices from wedging "while (!done)" loops.
+    ++injector->deviceTimeouts;
+    if (auto *ts = obs::traceSink()) {
+        ts->instant(sim.now(), obs::kCatFault, statGroup.name(),
+                    "device-timeout",
+                    {{"addr", obs::hexAddr(addr)},
+                     {"op", is_write ? "dma-write" : "dma-read"}});
+    }
+    return true;
+}
+
 void
 DmaEngine::readWords(Addr addr, unsigned count, ReadCallback done)
 {
     checkAddress(addr, count);
     if (count == 0) {
-        done({});
+        done(IoStatus::Ok, {});
+        return;
+    }
+    if (injectTimeout(addr, false)) {
+        sim.events().schedule(
+            sim.now() + injector->config().deviceTimeoutCycles,
+            [cb = std::move(done)]() mutable {
+                cb(IoStatus::TimedOut, {});
+            },
+            "dma timeout completion");
         return;
     }
     ++requestCount;
@@ -58,7 +96,16 @@ DmaEngine::writeWords(Addr addr, std::vector<Word> data,
 {
     checkAddress(addr, data.size());
     if (data.empty()) {
-        done();
+        done(IoStatus::Ok);
+        return;
+    }
+    if (injectTimeout(addr, true)) {
+        sim.events().schedule(
+            sim.now() + injector->config().deviceTimeoutCycles,
+            [cb = std::move(done)]() mutable {
+                cb(IoStatus::TimedOut);
+            },
+            "dma timeout completion");
         return;
     }
     ++requestCount;
@@ -112,11 +159,12 @@ DmaEngine::pump()
                     auto done = std::move(front.writeDone);
                     requests.pop_front();
                     if (done)
-                        done();
+                        done(IoStatus::Ok);
                 }
                 const Cycle next =
                     std::max(issued + pacing, sim.now() + 1);
-                sim.events().schedule(next, [this] { pump(); });
+                sim.events().schedule(next, [this] { pump(); },
+                                      "dma word pacing");
             });
     } else {
         ioCache.dmaAccess(
@@ -130,11 +178,12 @@ DmaEngine::pump()
                     auto data = std::move(front.data);
                     requests.pop_front();
                     if (done)
-                        done(std::move(data));
+                        done(IoStatus::Ok, std::move(data));
                 }
                 const Cycle next =
                     std::max(issued + pacing, sim.now() + 1);
-                sim.events().schedule(next, [this] { pump(); });
+                sim.events().schedule(next, [this] { pump(); },
+                                      "dma word pacing");
             });
     }
 }

@@ -27,12 +27,30 @@
 namespace firefly
 {
 
+namespace fault
+{
+class FaultInjector;
+}
+
+/**
+ * Completion status of an I/O request.  Devices time out when the
+ * fault injector decides the operation hangs; the requester sees the
+ * timeout after `deviceTimeoutCycles` and decides whether to retry.
+ */
+enum class IoStatus : std::uint8_t
+{
+    Ok,
+    TimedOut,
+};
+
+const char *toString(IoStatus status);
+
 /** Paced word-at-a-time DMA through the I/O processor's cache. */
 class DmaEngine
 {
   public:
-    using ReadCallback = std::function<void(std::vector<Word>)>;
-    using WriteCallback = std::function<void()>;
+    using ReadCallback = std::function<void(IoStatus, std::vector<Word>)>;
+    using WriteCallback = std::function<void(IoStatus)>;
 
     /**
      * @param io_cache  the primary processor's cache.
@@ -54,6 +72,16 @@ class DmaEngine
 
     Cycle cyclesPerWord() const { return pacing; }
 
+    /**
+     * Attach the fault injector (nullptr detaches).  Requests can
+     * then time out: the transfer never starts and the callback fires
+     * with IoStatus::TimedOut after the configured timeout, so a hung
+     * device surfaces as a completion the requester can retry instead
+     * of a wedged event queue.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { injector = inj; }
+    fault::FaultInjector *faultInjector() const { return injector; }
+
     StatGroup &stats() { return statGroup; }
 
     Counter wordsRead;
@@ -74,6 +102,9 @@ class DmaEngine
 
     void pump();
     void checkAddress(Addr addr, unsigned count) const;
+    /** Draw the per-request timeout fault; counts and traces it.
+     *  The caller schedules the timed-out completion. */
+    bool injectTimeout(Addr addr, bool is_write);
 
     Simulator &sim;
     Cache &ioCache;
@@ -82,6 +113,7 @@ class DmaEngine
 
     std::deque<Request> requests;
     bool wordInFlight = false;
+    fault::FaultInjector *injector = nullptr;
 
     StatGroup statGroup;
 };

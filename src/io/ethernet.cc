@@ -1,5 +1,6 @@
 #include "io/ethernet.hh"
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -37,7 +38,7 @@ EthernetController::wireCycles(unsigned bytes) const
 
 void
 EthernetController::transmit(Addr qbus_addr, unsigned bytes,
-                             std::function<void()> done)
+                             TxCallback done)
 {
     if (bytes == 0)
         fatal("cannot transmit an empty packet");
@@ -54,28 +55,62 @@ EthernetController::pumpTx()
         return;
     }
     txBusy = true;
-    const TxRequest req = txQueue.front();
+    TxRequest req = txQueue.front();
     txQueue.pop_front();
 
+    sim.events().schedule(
+        sim.now() + cfg.setupCycles,
+        [this, req = std::move(req)]() mutable {
+            startTx(std::move(req));
+        },
+        "ethernet tx setup");
+}
+
+void
+EthernetController::startTx(TxRequest req)
+{
     const unsigned words = (req.bytes + 3) / 4;
-    sim.events().schedule(sim.now() + cfg.setupCycles, [this, req,
-                                                        words] {
-        qbus.dmaRead(req.addr, words, [this, req](
-                                          std::vector<Word> payload) {
-            const Cycle wire = wireCycles(req.bytes);
-            sim.events().schedule(
-                sim.now() + wire,
-                [this, req, payload = std::move(payload)]() mutable {
-                    ++txPackets;
-                    txBytes += req.bytes;
-                    if (peer)
-                        peer->injectFromWire(std::move(payload),
-                                             req.bytes);
-                    if (req.done)
-                        req.done();
-                    pumpTx();
-                });
-        });
+    const Addr addr = req.addr;
+    qbus.dmaRead(addr, words, [this, req = std::move(req)](
+                                  IoStatus status,
+                                  std::vector<Word> payload) mutable {
+        if (status != IoStatus::Ok) {
+            auto *inj = qbus.engine().faultInjector();
+            ++req.attempt;
+            if (inj && req.attempt < inj->config().deviceRetryBudget) {
+                ++inj->deviceRetries;
+                sim.events().schedule(
+                    sim.now() + inj->deviceBackoff(req.attempt),
+                    [this, req = std::move(req)]() mutable {
+                        startTx(std::move(req));
+                    },
+                    "ethernet tx retry");
+                return;
+            }
+            if (inj)
+                ++inj->deviceFailures;
+            warn("%s: transmit of %u bytes failed after %u attempts",
+                 name.c_str(), req.bytes, req.attempt);
+            if (req.done)
+                req.done(IoStatus::TimedOut);
+            pumpTx();
+            return;
+        }
+        const Cycle wire = wireCycles(req.bytes);
+        sim.events().schedule(
+            sim.now() + wire,
+            [this, req = std::move(req),
+             payload = std::move(payload)]() mutable {
+                ++txPackets;
+                txBytes += req.bytes;
+                if (peer)
+                    peer->injectFromWire(std::move(payload),
+                                         req.bytes);
+                if (req.done)
+                    req.done(IoStatus::Ok);
+                pumpTx();
+            },
+            "ethernet wire transfer");
     });
 }
 
@@ -113,7 +148,15 @@ EthernetController::injectFromWire(std::vector<Word> payload,
     }
     rxBuffers.pop_front();
     const Addr addr = buffer.addr;
-    qbus.dmaWrite(addr, std::move(payload), [this, addr, bytes] {
+    qbus.dmaWrite(addr, std::move(payload),
+                  [this, addr, bytes](IoStatus status) {
+        if (status != IoStatus::Ok) {
+            // The receive DMA hung; the packet is lost on the floor
+            // exactly as on a real wire - the sender's upper layers
+            // retransmit.  The posted buffer was consumed.
+            ++rxDropped;
+            return;
+        }
         ++rxPackets;
         rxBytes += bytes;
         if (rxHandler)

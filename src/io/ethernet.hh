@@ -50,10 +50,11 @@ class EthernetController
      * Transmit `bytes` starting at the QBus address.  The packet is
      * DMAed out of memory, serialised onto the wire, and delivered
      * to the connected peer (or dropped if none).  `done` fires when
-     * the wire transfer completes.
+     * the wire transfer completes - with TimedOut if the DMA fetch
+     * kept timing out past the retry budget (packet never sent).
      */
-    void transmit(Addr qbus_addr, unsigned bytes,
-                  std::function<void()> done);
+    using TxCallback = std::function<void(IoStatus)>;
+    void transmit(Addr qbus_addr, unsigned bytes, TxCallback done);
 
     /** Post a receive buffer (used in FIFO order). */
     void addReceiveBuffer(Addr qbus_addr, unsigned capacity_bytes);
@@ -80,8 +81,13 @@ class EthernetController
     {
         Addr addr;
         unsigned bytes;
-        std::function<void()> done;
+        TxCallback done;
+        unsigned attempt = 0;  ///< timed-out DMA fetches so far
     };
+
+    /** DMA the packet out of memory and put it on the wire;
+     *  re-entered on retry after a DMA timeout. */
+    void startTx(TxRequest req);
 
     struct RxBuffer
     {

@@ -180,26 +180,45 @@ Mdc::depositInput()
     std::vector<Word> words = {mouseX, mouseY, keyBitmap[0],
                                keyBitmap[1], keyBitmap[2],
                                keyBitmap[3]};
-    qbus.dmaWrite(cfg.inputBase, std::move(words), [] {});
+    // A timed-out deposit just loses one input sample; the next
+    // period writes fresh state.
+    qbus.dmaWrite(cfg.inputBase, std::move(words), [](IoStatus) {});
     sim.events().schedule(sim.now() + inputPeriodCycles,
-                          [this] { depositInput(); });
+                          [this] { depositInput(); },
+                          "mdc input deposit");
 }
 
 void
 Mdc::poll()
 {
     ++polls;
-    qbus.dmaRead(cfg.queueBase, 2, [this](std::vector<Word> header) {
+    qbus.dmaRead(cfg.queueBase, 2, [this](IoStatus status,
+                                          std::vector<Word> header) {
+        if (status != IoStatus::Ok) {
+            // Queue header unreadable this time: try again at the
+            // normal poll cadence rather than wedging the device.
+            sim.events().schedule(sim.now() + cfg.pollIntervalCycles,
+                                  [this] { poll(); }, "mdc poll");
+            return;
+        }
         const Word producer = header[0];
         const Word consumer = header[1];
         if (producer == consumer) {
             sim.events().schedule(sim.now() + cfg.pollIntervalCycles,
-                                  [this] { poll(); });
+                                  [this] { poll(); }, "mdc poll");
             return;
         }
         const Addr entry_addr = cfg.queueBase + 8 +
             (consumer % cfg.queueEntries) * sizeof(MdcCommand);
-        qbus.dmaRead(entry_addr, 8, [this](std::vector<Word> entry) {
+        qbus.dmaRead(entry_addr, 8, [this](IoStatus st,
+                                           std::vector<Word> entry) {
+            if (st != IoStatus::Ok) {
+                // Leave the entry unconsumed; the next poll rereads.
+                sim.events().schedule(
+                    sim.now() + cfg.pollIntervalCycles,
+                    [this] { poll(); }, "mdc poll");
+                return;
+            }
             executeEntry(std::move(entry));
         });
     });
@@ -243,7 +262,12 @@ Mdc::executeEntry(std::vector<Word> entry)
         const unsigned words = (count + 3) / 4;
         const unsigned x = entry[1], y = entry[2];
         qbus.dmaRead(entry[4], words,
-                     [this, x, y, count](std::vector<Word> packed) {
+                     [this, x, y, count](IoStatus st,
+                                         std::vector<Word> packed) {
+                         if (st != IoStatus::Ok) {
+                             finishCommand(cfg.commandOverheadCycles);
+                             return;
+                         }
                          paintCharsFromCodes(packed, x, y, count);
                      });
         return;
@@ -256,7 +280,11 @@ Mdc::executeEntry(std::vector<Word> entry)
         const unsigned words = stride * h;
         qbus.dmaRead(entry[1], words,
                      [this, stride, w, h, dx, dy](
-                         std::vector<Word> data) {
+                         IoStatus st, std::vector<Word> data) {
+                         if (st != IoStatus::Ok) {
+                             finishCommand(cfg.commandOverheadCycles);
+                             return;
+                         }
                          const auto pixels = fb.bltFrom(
                              data.data(), stride, {0, 0, w, h}, dx,
                              dy, RasterOp::Copy);
@@ -298,11 +326,21 @@ Mdc::finishCommand(Cycle busy)
     sim.events().schedule(sim.now() + busy, [this] {
         // Advance the consumer index, then look for more work
         // immediately (the poll interval only applies when idle).
-        qbus.dmaRead(cfg.queueBase, 2, [this](std::vector<Word> header) {
+        qbus.dmaRead(cfg.queueBase, 2, [this](IoStatus status,
+                                              std::vector<Word> header) {
+            if (status != IoStatus::Ok) {
+                // Consumer index not advanced; the next poll rereads
+                // the same entry (commands must be idempotent under
+                // at-least-once execution, as on the real hardware).
+                sim.events().schedule(
+                    sim.now() + cfg.pollIntervalCycles,
+                    [this] { poll(); }, "mdc poll");
+                return;
+            }
             qbus.dmaWrite(cfg.queueBase + 4, {header[1] + 1},
-                          [this] { poll(); });
+                          [this](IoStatus) { poll(); });
         });
-    });
+    }, "mdc command finish");
 }
 
 } // namespace firefly

@@ -1,15 +1,30 @@
 #include "mbus/interrupts.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace firefly
 {
+
+const char *
+toString(IrqPriority prio)
+{
+    switch (prio) {
+      case IrqPriority::Ipi: return "ipi";
+      case IrqPriority::Device: return "device";
+      case IrqPriority::MachineCheck: return "machine-check";
+    }
+    return "?";
+}
 
 InterruptController::InterruptController(Simulator &sim)
     : sim(sim), statGroup("interrupts")
 {
     statGroup.addCounter(&raisedCount, "raised",
                          "interprocessor interrupts delivered");
+    statGroup.addCounter(&machineCheckCount, "machine_checks",
+                         "machine checks delivered");
 }
 
 unsigned
@@ -20,23 +35,62 @@ InterruptController::addTarget(Handler handler)
 }
 
 void
-InterruptController::raise(unsigned target, unsigned source)
+InterruptController::raise(unsigned target, unsigned source,
+                           IrqPriority prio)
 {
     if (target >= handlers.size())
         panic("interrupt to unknown target %u", target);
     ++raisedCount;
-    sim.events().schedule(sim.now() + 1, [this, target, source] {
-        handlers[target](source);
-    });
+    const Cycle when = sim.now() + 1;
+    auto [it, fresh] = batches.try_emplace(when);
+    it->second.push_back({target, source, prio});
+    if (fresh) {
+        // First arrival for this cycle schedules the single drain
+        // event; later raises for the same cycle join the batch.
+        sim.events().schedule(
+            when, [this, when] { drain(when); }, "irq delivery");
+    }
 }
 
 void
-InterruptController::broadcast(unsigned source)
+InterruptController::drain(Cycle when)
+{
+    auto it = batches.find(when);
+    if (it == batches.end())
+        panic("interrupt drain for cycle %llu without a batch",
+              static_cast<unsigned long long>(when));
+    // Move the batch out first: a handler may raise new interrupts
+    // (for a later cycle - `when` has already fired its drain).
+    std::vector<PendingIrq> batch = std::move(it->second);
+    batches.erase(it);
+    // Present highest priority first; stable so equal-priority
+    // interrupts keep raise order (deterministic).
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const PendingIrq &a, const PendingIrq &b) {
+                         return static_cast<int>(a.prio) >
+                                static_cast<int>(b.prio);
+                     });
+    for (const PendingIrq &irq : batch)
+        handlers[irq.target](irq.source);
+}
+
+void
+InterruptController::broadcast(unsigned source, IrqPriority prio)
 {
     for (unsigned i = 0; i < handlers.size(); ++i) {
         if (i != source)
-            raise(i, source);
+            raise(i, source, prio);
     }
+}
+
+void
+InterruptController::raiseMachineCheck(const std::string &unit,
+                                       const std::string &diagnostic)
+{
+    ++machineCheckCount;
+    warn("machine check [%s]: %s", unit.c_str(), diagnostic.c_str());
+    if (mcHandler)
+        mcHandler(unit, diagnostic);
 }
 
 } // namespace firefly

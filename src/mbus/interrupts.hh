@@ -7,12 +7,23 @@
  * interprocessor interrupt to make any processor able to start I/O on
  * the I/O processor (the network fast path described in the paper).
  * Delivery takes one bus cycle and does not occupy the data path.
+ *
+ * Interrupts carry a priority.  All interrupts that arrive at a
+ * target in the same delivery cycle are presented highest priority
+ * first (ties in raise order), matching the VAX convention of
+ * servicing the highest IPL request.  Machine checks are above every
+ * maskable level and are delivered synchronously - the faulting
+ * instruction cannot complete, so there is no cycle of latency to
+ * model.
  */
 
 #ifndef FIREFLY_MBUS_INTERRUPTS_HH
 #define FIREFLY_MBUS_INTERRUPTS_HH
 
+#include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "sim/simulator.hh"
@@ -20,6 +31,16 @@
 
 namespace firefly
 {
+
+/** Interrupt priority levels, lowest first. */
+enum class IrqPriority : std::uint8_t
+{
+    Ipi = 0,      ///< interprocessor wakeup/scheduling
+    Device = 1,   ///< I/O completion
+    MachineCheck = 2,  ///< unrecoverable fault (synchronous delivery)
+};
+
+const char *toString(IrqPriority prio);
 
 /** Broadcast/directed interprocessor interrupt fabric on the MBus. */
 class InterruptController
@@ -33,19 +54,59 @@ class InterruptController
     /** Register a processor slot; returns its index. */
     unsigned addTarget(Handler handler);
 
-    /** Raise an interrupt from `source` to `target` (next cycle). */
-    void raise(unsigned target, unsigned source);
+    /**
+     * Raise an interrupt from `source` to `target`.  It is delivered
+     * next cycle; everything arriving at that cycle is presented
+     * highest priority first.
+     */
+    void raise(unsigned target, unsigned source,
+               IrqPriority prio = IrqPriority::Ipi);
 
     /** Raise an interrupt to every target except the source. */
-    void broadcast(unsigned source);
+    void broadcast(unsigned source,
+                   IrqPriority prio = IrqPriority::Ipi);
+
+    /**
+     * Machine-check delivery: synchronous (the faulting access cannot
+     * complete, so the handler runs now, not next cycle) and
+     * non-maskable.  The fault injector's machine-check hook routes
+     * here so a machine check is architecturally visible before the
+     * simulation aborts or unwinds.
+     */
+    using MachineCheckHandler =
+        std::function<void(const std::string &unit,
+                           const std::string &diagnostic)>;
+    void
+    setMachineCheckHandler(MachineCheckHandler handler)
+    {
+        mcHandler = std::move(handler);
+    }
+    void raiseMachineCheck(const std::string &unit,
+                           const std::string &diagnostic);
 
     StatGroup &stats() { return statGroup; }
 
   private:
+    struct PendingIrq
+    {
+        unsigned target;
+        unsigned source;
+        IrqPriority prio;
+    };
+
+    void drain(Cycle when);
+
     Simulator &sim;
     std::vector<Handler> handlers;
+    /** Interrupts batched by delivery cycle; one drain event is
+     *  scheduled per batch so same-cycle arrivals can be priority
+     *  sorted before any handler runs. */
+    std::map<Cycle, std::vector<PendingIrq>> batches;
+    MachineCheckHandler mcHandler;
+
     StatGroup statGroup;
     Counter raisedCount;
+    Counter machineCheckCount;
 };
 
 } // namespace firefly

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "fault/fault_injector.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 
@@ -160,17 +161,22 @@ MBus::tick(Cycle now)
     ++totalCycleCount;
 
     if (!active) {
-        // Arbitration: fixed priority, lowest index wins.
+        // Arbitration: fixed priority, lowest index wins.  Slots in
+        // parity-retry backoff are not eligible yet.
         for (unsigned i = 0; i < pending.size(); ++i) {
             if (!pending[i].has_value())
                 continue;
+            if (now < pending[i]->earliest)
+                continue;
             active = pending[i]->txn;
+            activeAttempt = pending[i]->attempt;
             arbWaitHist.sample(
                 static_cast<double>(now - pending[i]->requested));
             pending[i].reset();
             phaseCycle = 0;
             suppliers.clear();
             ++busyCycleCount;
+            sim.noteProgress();
             if (traceHook) {
                 std::ostringstream os;
                 os << toString(active->type) << " 0x" << std::hex
@@ -196,6 +202,7 @@ MBus::tick(Cycle now)
 
     ++busyCycleCount;
     ++phaseCycle;
+    sim.noteProgress();
 
     if (phaseCycle == 1) {
         if (active->type == MBusOpType::MWrite)
@@ -216,6 +223,14 @@ MBus::tick(Cycle now)
         }
     } else {
         const unsigned burst = phaseCycle - 3;
+        if (burst == 0 && injector &&
+            injector->faultPlan().busParityError()) {
+            // A parity error is detected as the data cycle begins,
+            // before any word moves: no memory or cache state has
+            // changed, so dropping the attempt is side-effect free.
+            parityAbort(now);
+            return;
+        }
         dataPhase(burst);
         trace(now, "data",
               active->suppliedByCache ? "cache supplies, memory inhibited"
@@ -290,12 +305,71 @@ MBus::dataPhase(unsigned burst_index)
 }
 
 void
+MBus::parityAbort(Cycle now)
+{
+    MBusTransaction txn = *active;
+    active.reset();
+    ++injector->parityErrors;
+    const unsigned attempt = activeAttempt + 1;
+    trace(now, "parity", "data parity error, transaction NACKed");
+    if (auto *ts = obs::traceSink()) {
+        ts->end(now, obs::kCatMBus, statGroup.name());
+        ts->instant(now, obs::kCatFault, statGroup.name(),
+                    "parity-nack",
+                    {{"op", toString(txn.type)},
+                     {"addr", obs::hexAddr(txn.addr)},
+                     {"by", txn.initiator->busClientName()},
+                     {"attempt", std::to_string(attempt)}});
+    }
+    if (attempt >= injector->config().parityRetryBudget) {
+        injector->machineCheck(
+            statGroup.name(),
+            std::string(toString(txn.type)) + " " +
+                obs::hexAddr(txn.addr) + " by " +
+                txn.initiator->busClientName() +
+                ": parity retry budget (" +
+                std::to_string(injector->config().parityRetryBudget) +
+                ") exhausted");
+    }
+    // Re-arm the master's slot: the transaction retries from the
+    // arbitration phase after a bounded exponential backoff.  Snoop
+    // results belong to the aborted attempt, so clear them; the
+    // retry re-probes (and an MWrite re-drives its data).
+    txn.mshared = false;
+    txn.suppliedByCache = false;
+    for (unsigned i = 0; i < clients.size(); ++i) {
+        if (clients[i] == txn.initiator) {
+            pending[i] = PendingRequest{
+                txn, now, now + injector->parityBackoff(attempt),
+                attempt};
+            ++injector->parityRetries;
+            return;
+        }
+    }
+    panic("parity retry for unattached client %s",
+          txn.initiator->busClientName().c_str());
+}
+
+void
 MBus::completeTransaction()
 {
     // Detach the transaction before callbacks so the initiator can
     // immediately queue a follow-on request (victim write -> fill).
     MBusTransaction txn = *active;
     active.reset();
+
+    if (activeAttempt > 0) {
+        ++injector->parityRecovered;
+        if (auto *ts = obs::traceSink()) {
+            ts->instant(sim.now(), obs::kCatFault, statGroup.name(),
+                        "parity-recovered",
+                        {{"op", toString(txn.type)},
+                         {"addr", obs::hexAddr(txn.addr)},
+                         {"attempts",
+                          std::to_string(activeAttempt + 1)}});
+        }
+        activeAttempt = 0;
+    }
 
     if (auto *ts = obs::traceSink()) {
         ts->end(sim.now(), obs::kCatMBus, statGroup.name());

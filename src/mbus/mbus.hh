@@ -42,6 +42,11 @@
 namespace firefly
 {
 
+namespace fault
+{
+class FaultInjector;
+}
+
 class MBusClient;
 
 /** Operation as seen on the bus wires. */
@@ -165,6 +170,15 @@ class MBus : public Clocked
     /** The storage system behind the bus (for functional access). */
     MainMemory &memorySystem() { return memory; }
 
+    /**
+     * Attach the fault injector (nullptr detaches).  With one
+     * attached, transactions can be NACKed for parity as they enter
+     * the data cycle - before any side effect - and the master
+     * retries with bounded exponential backoff; exhausting the retry
+     * budget raises a machine check.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { injector = inj; }
+
     // --- observability ------------------------------------------------
     /** Fraction of non-idle bus cycles since construction/reset. */
     double load() const;
@@ -220,12 +234,20 @@ class MBus : public Clocked
     {
         MBusTransaction txn;
         Cycle requested;
+        /** Not eligible for arbitration before this cycle (parity
+         *  retry backoff). */
+        Cycle earliest = 0;
+        /** Completed attempts that were NACKed for parity. */
+        unsigned attempt = 0;
     };
 
     void beginTransaction(Cycle now);
     void probePhase();
     void dataPhase(unsigned burst_index);
     void completeTransaction();
+    /** Parity NACK: drop the attempt (no side effects have happened
+     *  yet) and re-arm the master's slot for a backed-off retry. */
+    void parityAbort(Cycle now);
     void trace(Cycle now, const std::string &phase,
                const std::string &detail);
 
@@ -239,7 +261,10 @@ class MBus : public Clocked
     /** Active transaction state. */
     std::optional<MBusTransaction> active;
     unsigned phaseCycle = 0;
+    unsigned activeAttempt = 0;       ///< parity NACKs already taken
     std::vector<unsigned> suppliers;  ///< client indices driving data
+
+    fault::FaultInjector *injector = nullptr;
 
     TraceHook traceHook;
     std::vector<WriteObserver> writeObservers;

@@ -46,6 +46,15 @@ class MainMemory
     unsigned moduleCount() const { return modules.size(); }
     MemoryModule &module(unsigned i) { return *modules.at(i); }
 
+    /** Attach the fault injector to every installed module (call
+     *  after the last addModule). */
+    void
+    setFaultInjector(fault::FaultInjector *inj)
+    {
+        for (auto &m : modules)
+            m->setFaultInjector(inj);
+    }
+
     StatGroup &stats() { return statGroup; }
 
   private:

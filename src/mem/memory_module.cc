@@ -1,5 +1,7 @@
 #include "mem/memory_module.hh"
 
+#include "fault/fault_injector.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -36,6 +38,30 @@ Word
 MemoryModule::read(Addr byte_addr)
 {
     ++readCount;
+    if (injector) {
+        using Ecc = fault::FaultPlan::EccOutcome;
+        switch (injector->faultPlan().eccOnRead(byte_addr)) {
+          case Ecc::Ok:
+            break;
+          case Ecc::Corrected:
+            // Single-bit flip: the ECC logic corrects the word on
+            // the way out and scrubs the array, so the flip never
+            // becomes architecturally visible - only logged.
+            ++injector->eccCorrected;
+            if (auto *ts = obs::traceSink()) {
+                ts->instant(obs::traceNow(), obs::kCatFault,
+                            statGroup.name(), "ecc-corrected",
+                            {{"addr", obs::hexAddr(byte_addr)}});
+            }
+            break;
+          case Ecc::Uncorrectable:
+            ++injector->eccUncorrectable;
+            injector->machineCheck(
+                statGroup.name(),
+                "uncorrectable (double-bit) ECC error reading " +
+                    obs::hexAddr(byte_addr));
+        }
+    }
     return storage.read(toWordIndex(byte_addr));
 }
 

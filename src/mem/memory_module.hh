@@ -20,6 +20,11 @@
 namespace firefly
 {
 
+namespace fault
+{
+class FaultInjector;
+}
+
 /** A contiguous memory module on the MBus. */
 class MemoryModule
 {
@@ -47,8 +52,19 @@ class MemoryModule
 
     StatGroup &stats() { return statGroup; }
 
+    /**
+     * Attach the fault injector (nullptr detaches).  Timed reads then
+     * model the module's ECC logic: single-bit errors are corrected
+     * on the way out (and scrubbed, so they never become visible);
+     * double-bit errors are detected but uncorrectable and raise a
+     * machine check.  Functional peeks never touch the ECC model.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { injector = inj; }
+
   private:
     Addr toWordIndex(Addr byte_addr) const;
+
+    fault::FaultInjector *injector = nullptr;
 
     Addr _base;
     Addr _sizeBytes;

@@ -53,6 +53,7 @@ inline constexpr const char *kCatDma = "Dma";
 inline constexpr const char *kCatSched = "Sched";
 inline constexpr const char *kCatRpc = "Rpc";
 inline constexpr const char *kCatCheck = "Check";
+inline constexpr const char *kCatFault = "Fault";
 
 /** Event shape, following the Chrome trace-event phases. */
 enum class EventKind : char

@@ -1,14 +1,18 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <limits>
+#include <sstream>
 
 namespace firefly
 {
 
 void
-EventQueue::schedule(Cycle when, std::function<void()> fn)
+EventQueue::schedule(Cycle when, std::function<void()> fn,
+                     const char *label)
 {
-    events.push({when, nextSeq++, std::move(fn)});
+    events.push_back({when, nextSeq++, label, std::move(fn)});
+    std::push_heap(events.begin(), events.end(), Later{});
 }
 
 Cycle
@@ -16,18 +20,51 @@ EventQueue::nextEventCycle() const
 {
     if (events.empty())
         return std::numeric_limits<Cycle>::max();
-    return events.top().when;
+    return events.front().when;
 }
 
-void
+std::size_t
 EventQueue::runUntil(Cycle now)
 {
-    while (!events.empty() && events.top().when <= now) {
-        // Copy out before pop so the callback may schedule new events.
-        auto fn = events.top().fn;
-        events.pop();
+    std::size_t ran = 0;
+    while (!events.empty() && events.front().when <= now) {
+        // Move out before pop so the callback may schedule new events.
+        std::pop_heap(events.begin(), events.end(), Later{});
+        auto fn = std::move(events.back().fn);
+        events.pop_back();
         fn();
+        ++ran;
     }
+    return ran;
+}
+
+std::string
+EventQueue::describePending(std::size_t max) const
+{
+    if (events.empty())
+        return "  (event queue empty)\n";
+    std::vector<const Event *> sorted;
+    sorted.reserve(events.size());
+    for (const Event &ev : events)
+        sorted.push_back(&ev);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Event *a, const Event *b) {
+                  if (a->when != b->when)
+                      return a->when < b->when;
+                  return a->seq < b->seq;
+              });
+    std::ostringstream os;
+    std::size_t shown = 0;
+    for (const Event *ev : sorted) {
+        if (shown++ == max) {
+            os << "  ... " << (sorted.size() - max) << " more\n";
+            break;
+        }
+        os << "  cycle " << ev->when << ": "
+           << (ev->label && *ev->label ? ev->label : "(unlabelled)")
+           << "\n";
+    }
+    return os.str();
 }
 
 } // namespace firefly

@@ -6,6 +6,11 @@
  * cycle by cycle, but devices with long, sparse timing (display
  * refresh, disk seeks, DMA word pacing) schedule callbacks here
  * instead of ticking every cycle.
+ *
+ * Events may carry a static label naming who scheduled them; the
+ * simulator's wedge watchdog prints the pending-event list with
+ * those labels when a lost completion stalls the machine, so the
+ * diagnostic points at the component that went quiet.
  */
 
 #ifndef FIREFLY_SIM_EVENT_QUEUE_HH
@@ -13,7 +18,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -25,8 +30,13 @@ namespace firefly
 class EventQueue
 {
   public:
-    /** Schedule fn to run at absolute cycle `when`. */
-    void schedule(Cycle when, std::function<void()> fn);
+    /**
+     * Schedule fn to run at absolute cycle `when`.  `label` must be
+     * a string with static lifetime (a literal); it is only read if
+     * the event ends up in a wedge diagnostic.
+     */
+    void schedule(Cycle when, std::function<void()> fn,
+                  const char *label = "");
 
     /** Cycle of the earliest pending event, or max if empty. */
     Cycle nextEventCycle() const;
@@ -34,14 +44,22 @@ class EventQueue
     bool empty() const { return events.empty(); }
     std::size_t size() const { return events.size(); }
 
-    /** Run every event scheduled at or before `now`. */
-    void runUntil(Cycle now);
+    /**
+     * Run every event scheduled at or before `now`.
+     * @return how many events executed.
+     */
+    std::size_t runUntil(Cycle now);
+
+    /** Render the pending events (earliest first, up to `max`) for
+     *  the watchdog's wedge diagnostic. */
+    std::string describePending(std::size_t max = 16) const;
 
   private:
     struct Event
     {
         Cycle when;
         std::uint64_t seq;
+        const char *label;
         std::function<void()> fn;
     };
     struct Later
@@ -55,7 +73,9 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    /** Binary heap managed with std::push_heap/pop_heap so
+     *  describePending can walk the pending set. */
+    std::vector<Event> events;
     std::uint64_t nextSeq = 0;
 };
 

@@ -21,12 +21,29 @@ Simulator::stepOneCycle()
     // Publish the cycle for trace emitters that have no Simulator
     // reference (obs::traceNow); a single word store per cycle.
     obs::publishTraceNow(_now);
-    _events.runUntil(_now);
+    if (_events.runUntil(_now) > 0)
+        lastProgress = _now;
     for (auto &phase : phases) {
         for (auto *c : phase)
             c->tick(_now);
     }
+    if (watchdogBound != 0 && _now - lastProgress >= watchdogBound)
+        reportWedge();
     ++_now;
+}
+
+void
+Simulator::reportWedge()
+{
+    std::string diag =
+        "simulation wedged: no progress for " +
+        std::to_string(watchdogBound) + " cycles (now " +
+        std::to_string(_now) + ", last progress " +
+        std::to_string(lastProgress) + ")\npending events:\n" +
+        _events.describePending();
+    if (watchdogThrows)
+        throw SimulationWedged(diag);
+    panic("%s", diag.c_str());
 }
 
 void

@@ -19,6 +19,7 @@
 #ifndef FIREFLY_SIM_SIMULATOR_HH
 #define FIREFLY_SIM_SIMULATOR_HH
 
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -26,6 +27,13 @@
 
 namespace firefly
 {
+
+/** Thrown by the wedge watchdog when configured to throw. */
+class SimulationWedged : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Interface for components evaluated every cycle. */
 class Clocked
@@ -75,13 +83,38 @@ class Simulator
     /** Ask the main loop to stop after the current cycle. */
     void requestStop() { stopRequested = true; }
 
+    /**
+     * Wedge watchdog: if no component reports progress for `bound`
+     * cycles, abort with a diagnostic listing the pending events
+     * instead of spinning forever (a lost DMA/device completion
+     * otherwise wedges "while (!done) sim.run(1)" loops).  Progress
+     * is any executed event, bus activity, or a CPU doing work -
+     * components call noteProgress().  A bound of 0 disables the
+     * watchdog (the default: an idle machine is not an error).
+     * `throw_on_wedge` raises SimulationWedged instead of dying.
+     */
+    void setWatchdog(Cycle bound, bool throw_on_wedge = false)
+    {
+        watchdogBound = bound;
+        watchdogThrows = throw_on_wedge;
+        lastProgress = _now;
+    }
+
+    /** A component did useful work this cycle (cheap: one store). */
+    void noteProgress() { lastProgress = _now; }
+
   private:
     void stepOneCycle();
+    [[noreturn]] void reportWedge();
 
     Cycle _now = 0;
     bool stopRequested = false;
     EventQueue _events;
     std::vector<Clocked *> phases[4];
+
+    Cycle watchdogBound = 0;
+    bool watchdogThrows = false;
+    Cycle lastProgress = 0;
 };
 
 } // namespace firefly

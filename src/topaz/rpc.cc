@@ -15,6 +15,8 @@ RpcEngine::RpcEngine(Simulator &sim, QBus &qbus,
     statGroup.addCounter(&callsCompleted, "calls", "RPCs completed");
     statGroup.addCounter(&bytesTransferred, "bytes",
                          "request payload bytes transferred");
+    statGroup.addCounter(&callsFailed, "calls_failed",
+                         "RPCs abandoned after transmit failure");
     statGroup.addFormula("bandwidth_mbps",
                          "payload bandwidth in Mbit/s",
                          [this] { return bandwidthMbps(); });
@@ -66,8 +68,31 @@ RpcEngine::issueCall(unsigned slot)
     sim.events().schedule(
         sim.now() + cfg.clientOverheadCycles / 2, [this, slot] {
             nic.transmit(txBuffer(slot), cfg.requestBytes,
-                         [this, slot] { serverAccept(slot); });
-        });
+                         [this, slot](IoStatus status) {
+                             if (status != IoStatus::Ok) {
+                                 abandonCall(slot);
+                                 return;
+                             }
+                             serverAccept(slot);
+                         });
+        }, "rpc marshal");
+}
+
+void
+RpcEngine::abandonCall(unsigned slot)
+{
+    // The request never made it onto the wire; give up on this call
+    // and start a fresh one on the slot (Topaz RPC retransmits).
+    ++callsFailed;
+    if (auto *ts = obs::traceSink()) {
+        ts->end(sim.now(), obs::kCatRpc,
+                "rpc.slot" + std::to_string(slot));
+    }
+    outstandingIntegral += static_cast<double>(outstanding) *
+                           (sim.now() - lastOutstandingChange);
+    lastOutstandingChange = sim.now();
+    --outstanding;
+    issueCall(slot);
 }
 
 void

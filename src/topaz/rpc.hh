@@ -66,9 +66,13 @@ class RpcEngine
 
     Counter callsCompleted;
     Counter bytesTransferred;
+    /** Calls whose request transmit failed (device timeout past the
+     *  NIC's retry budget); the slot reissues a fresh call. */
+    Counter callsFailed;
 
   private:
     void issueCall(unsigned slot);
+    void abandonCall(unsigned slot);
     void serverAccept(unsigned slot);
     void serverDone(unsigned slot);
     void replyDelivered(unsigned slot);

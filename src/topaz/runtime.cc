@@ -162,6 +162,25 @@ TopazRuntime::done() const
     return !threads.empty() && doneCount == threads.size();
 }
 
+void
+TopazRuntime::offlineCpu(unsigned cpu)
+{
+    scheduler.setOffline(cpu);
+    const int id = currentThread.at(cpu);
+    if (id < 0)
+        return;
+    // Administrative requeue: the processor is being fenced, so the
+    // usual context-save reference burst is not emitted - the thread's
+    // interpreter state (pc, opProgress) simply moves to an online
+    // CPU via the scheduler's redirect.
+    Thread &thread = *threads[id];
+    thread.state = ThreadState::Ready;
+    scheduler.makeReady(thread.id, cpu);
+    currentThread[cpu] = -1;
+    --runningCount;
+    ++contextSwitches;
+}
+
 Addr
 TopazRuntime::counterAddr(unsigned index) const
 {

@@ -88,6 +88,14 @@ class TopazRuntime
     /** True once every thread has finished. */
     bool done() const;
 
+    /**
+     * Stop scheduling onto `cpu` and requeue its running thread (if
+     * any) for an online processor.  The caller is responsible for
+     * fencing the simulated processor itself; this only moves the
+     * Topaz-level thread state.
+     */
+    void offlineCpu(unsigned cpu);
+
     /** Simulated address of shared counter `index` (tests read the
      *  final value from simulated memory). */
     Addr counterAddr(unsigned index) const;

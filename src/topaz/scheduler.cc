@@ -17,10 +17,37 @@ toString(SchedulerPolicy policy)
 }
 
 TopazScheduler::TopazScheduler(unsigned cpus, SchedulerPolicy policy)
-    : _policy(policy), queues(cpus)
+    : _policy(policy), queues(cpus), offline(cpus, false)
 {
     if (cpus == 0)
         fatal("scheduler needs at least one CPU");
+}
+
+unsigned
+TopazScheduler::firstOnline() const
+{
+    for (unsigned i = 0; i < offline.size(); ++i) {
+        if (!offline[i])
+            return i;
+    }
+    fatal("all CPUs offline");
+}
+
+void
+TopazScheduler::setOffline(unsigned cpu)
+{
+    if (offline.at(cpu))
+        return;
+    offline[cpu] = true;
+    firstOnline();  // fatal if this was the last online CPU
+    // Redistribute the dead CPU's ready queue; the stranded threads
+    // requeue on the first online CPU (steals spread them from there).
+    auto &dead = queues.at(cpu);
+    auto &target = queues.at(firstOnline());
+    while (!dead.empty()) {
+        target.push_back(dead.front());
+        dead.pop_front();
+    }
 }
 
 void
@@ -38,12 +65,16 @@ TopazScheduler::makeReady(unsigned thread, unsigned preferred_cpu)
         globalQueue.push_back(thread);
         return;
     }
+    if (offline.at(preferred_cpu))
+        preferred_cpu = firstOnline();
     queues.at(preferred_cpu).push_back(thread);
 }
 
 int
 TopazScheduler::pick(unsigned cpu)
 {
+    if (offline.at(cpu))
+        return -1;
     if (_policy == SchedulerPolicy::Global) {
         if (globalQueue.empty())
             return -1;

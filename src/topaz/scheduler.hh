@@ -57,6 +57,15 @@ class TopazScheduler
     /** Runnable threads currently queued. */
     std::size_t readyCount() const;
 
+    /**
+     * Take `cpu` out of service: its ready queue drains to the
+     * lowest-numbered online CPU, future makeReady calls preferring
+     * it are redirected there, and pick() returns nothing for it.
+     * At least one CPU must stay online.
+     */
+    void setOffline(unsigned cpu);
+    bool isOffline(unsigned cpu) const { return offline.at(cpu); }
+
     SchedulerPolicy policy() const { return _policy; }
 
     Counter steals;    ///< affinity: picks from a foreign queue
@@ -64,10 +73,12 @@ class TopazScheduler
 
   private:
     void traceDispatch(unsigned thread, unsigned cpu, bool migrated);
+    unsigned firstOnline() const;
 
     SchedulerPolicy _policy;
     std::vector<std::deque<unsigned>> queues;  ///< per CPU (Affinity)
     std::deque<unsigned> globalQueue;          ///< Global policy
+    std::vector<bool> offline;                 ///< fenced CPUs
 };
 
 } // namespace firefly

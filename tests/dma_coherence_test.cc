@@ -39,7 +39,7 @@ struct DmaRig : CheckedRig
     dmaWrite(Addr addr, std::vector<Word> data)
     {
         bool done = false;
-        dma.writeWords(addr, std::move(data), [&] { done = true; });
+        dma.writeWords(addr, std::move(data), [&](IoStatus) { done = true; });
         while (!done)
             sim.run(1);
     }
@@ -49,7 +49,7 @@ struct DmaRig : CheckedRig
     {
         bool done = false;
         std::vector<Word> out;
-        dma.readWords(addr, count, [&](std::vector<Word> v) {
+        dma.readWords(addr, count, [&](IoStatus, std::vector<Word> v) {
             done = true;
             out = std::move(v);
         });

@@ -50,7 +50,7 @@ TEST(Integration, FullMachineWithAllDevices)
     int disk_done = 0;
     std::function<void()> disk_loop = [&] {
         disk.write((disk_done * 64) % 1000, 2, kIoBuffers + 0x2000,
-                   [&] {
+                   [&](IoStatus) {
                        ++disk_done;
                        disk_loop();
                    });
@@ -98,7 +98,7 @@ TEST(Integration, LockedCountersExactUnderDmaInterference)
     std::function<void()> feed = [&] {
         qbus.engine().writeWords(kIoBuffers,
                                  std::vector<Word>(64, 0xd0d0d0d0),
-                                 [&] { feed(); });
+                                 [&](IoStatus) { feed(); });
     };
     feed();
 
@@ -146,7 +146,7 @@ TEST(Integration, WholeSystemDeterminism)
         qbus.identityMap();
         DiskController disk(sys.simulator(), qbus, "disk");
         bool done = false;
-        disk.write(123, 4, kIoBuffers, [&] { done = true; });
+        disk.write(123, 4, kIoBuffers, [&](IoStatus) { done = true; });
         sys.run(0.03);
         std::ostringstream os;
         sys.stats().dump(os);
@@ -198,7 +198,7 @@ TEST(IntegrationDeathTest, DmaCannotReachHighMemory)
         {
             DmaEngine engine(sys.simulator(), sys.ioCache(),
                              sys.config().ioAddressLimit());
-            engine.writeWords(32 * 1024 * 1024, {1}, [] {});
+            engine.writeWords(32 * 1024 * 1024, {1}, [](IoStatus) {});
         },
         ::testing::ExitedWithCode(1), "I/O processor");
 }

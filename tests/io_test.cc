@@ -52,7 +52,7 @@ TEST(DmaEngine, ReadSeesMemoryAndCaches)
 
     bool done = false;
     std::vector<Word> got;
-    rig.qbus.dmaRead(0x1000, 2, [&](std::vector<Word> data) {
+    rig.qbus.dmaRead(0x1000, 2, [&](IoStatus, std::vector<Word> data) {
         got = std::move(data);
         done = true;
     });
@@ -65,7 +65,7 @@ TEST(DmaEngine, WriteIsVisibleToCpus)
     IoRig rig;
     rig.read(1, 0x2000);  // cache 1 holds the line
     bool done = false;
-    rig.qbus.dmaWrite(0x2000, {1234}, [&] { done = true; });
+    rig.qbus.dmaWrite(0x2000, {1234}, [&](IoStatus) { done = true; });
     rig.runUntil(done);
     EXPECT_EQ(rig.memory.read(0x2000), 1234u);
     EXPECT_EQ(rig.read(1, 0x2000), 1234u);  // updated in place
@@ -78,7 +78,7 @@ TEST(DmaEngine, PacingLimitsBandwidth)
     bool done = false;
     const Cycle start = rig.sim.now();
     rig.qbus.dmaWrite(0x4000, std::vector<Word>(1000, 42),
-                      [&] { done = true; });
+                      [&](IoStatus) { done = true; });
     rig.runUntil(done);
     const Cycle elapsed = rig.sim.now() - start;
     EXPECT_GE(elapsed, 11900u);
@@ -92,9 +92,9 @@ TEST(DmaEngine, ConcurrentRequestsShareFifo)
     IoRig rig;
     bool a = false, b = false;
     rig.qbus.dmaWrite(0x5000, std::vector<Word>(10, 1),
-                      [&] { a = true; });
+                      [&](IoStatus) { a = true; });
     rig.qbus.dmaWrite(0x6000, std::vector<Word>(10, 2),
-                      [&] { b = true; });
+                      [&](IoStatus) { b = true; });
     rig.runUntil(b);
     EXPECT_TRUE(a);
     EXPECT_EQ(rig.memory.read(0x5000), 1u);
@@ -107,7 +107,7 @@ TEST(DmaEngineDeathTest, RejectsAccessBeyondIoLimit)
     // The I/O processor and DMA reach only the first 16 MB; a
     // mapping cannot be programmed to point beyond it.
     EXPECT_EXIT(rig.qbus.engine().writeWords(
-                    kIoLimit, {1}, [] {}),
+                    kIoLimit, {1}, [](IoStatus) {}),
                 ::testing::ExitedWithCode(1), "I/O processor");
 }
 
@@ -152,7 +152,7 @@ TEST(Ethernet, LoopbackDeliversPayload)
         received = true;
     });
     bool sent = false;
-    a.transmit(0x8000, 64, [&] { sent = true; });
+    a.transmit(0x8000, 64, [&](IoStatus) { sent = true; });
     rig.runUntil(received);
     EXPECT_TRUE(sent);
     for (unsigned i = 0; i < 16; ++i)
@@ -168,7 +168,7 @@ TEST(Ethernet, WireRateBoundsThroughput)
     // 10 packets of 1500 bytes at 10 Mbit/s ~ 12 ms minimum.
     int sent = 0;
     for (int i = 0; i < 10; ++i)
-        a.transmit(0x8000, 1500, [&] { ++sent; });
+        a.transmit(0x8000, 1500, [&](IoStatus) { ++sent; });
     const Cycle start = rig.sim.now();
     while (sent < 10)
         rig.sim.run(1000);
@@ -185,7 +185,7 @@ TEST(Ethernet, DropsWithoutReceiveBuffer)
     EthernetController b(rig.sim, rig.qbus, "net1");
     a.connectTo(&b);
     bool sent = false;
-    a.transmit(0x8000, 64, [&] { sent = true; });
+    a.transmit(0x8000, 64, [&](IoStatus) { sent = true; });
     rig.runUntil(sent);
     rig.sim.run(10000);
     EXPECT_EQ(b.rxDropped.value(), 1u);
@@ -201,13 +201,13 @@ TEST(Disk, WriteThenReadRoundTrips)
     for (unsigned i = 0; i < 128; ++i)
         rig.memory.write(0xa000 + 4 * i, 0x1000 + i);
     bool wrote = false;
-    disk.write(100, 1, 0xa000, [&] { wrote = true; });
+    disk.write(100, 1, 0xa000, [&](IoStatus) { wrote = true; });
     rig.runUntil(wrote);
     EXPECT_EQ(disk.peekWord(100, 5), 0x1005u);
 
     // Read it back into a different buffer.
     bool read_done = false;
-    disk.read(100, 1, 0xb000, [&] { read_done = true; });
+    disk.read(100, 1, 0xb000, [&](IoStatus) { read_done = true; });
     rig.runUntil(read_done);
     for (unsigned i = 0; i < 128; ++i)
         EXPECT_EQ(rig.memory.read(0xb000 + 4 * i), 0x1000 + i);
@@ -220,14 +220,14 @@ TEST(Disk, SeeksCostTime)
     const auto &geom = disk.config().geometry;
 
     bool done = false;
-    disk.read(0, 1, 0xa000, [&] { done = true; });
+    disk.read(0, 1, 0xa000, [&](IoStatus) { done = true; });
     rig.runUntil(done);
     const Cycle near_time = rig.sim.now();
 
     done = false;
     // Far cylinder: geometry-maximal seek.
     disk.read((geom.cylinders - 1) * geom.heads * geom.sectorsPerTrack,
-              1, 0xa000, [&] { done = true; });
+              1, 0xa000, [&](IoStatus) { done = true; });
     rig.runUntil(done);
     const Cycle far_elapsed = rig.sim.now() - near_time;
 
@@ -241,7 +241,7 @@ TEST(Disk, QueuedRequestsAllComplete)
     DiskController disk(rig.sim, rig.qbus, "disk");
     int completed = 0;
     for (unsigned i = 0; i < 8; ++i)
-        disk.write(i * 50, 1, 0xa000, [&] { ++completed; });
+        disk.write(i * 50, 1, 0xa000, [&](IoStatus) { ++completed; });
     const Cycle deadline = rig.sim.now() + 50'000'000;
     while (completed < 8 && rig.sim.now() < deadline)
         rig.sim.run(10000);
@@ -257,7 +257,7 @@ TEST(Disk, DmaTrafficFlowsThroughIoCache)
     const auto dma_before = rig.caches[0]->dmaReads.value() +
                             rig.caches[0]->dmaWrites.value();
     bool done = false;
-    disk.read(10, 2, 0xa000, [&] { done = true; });
+    disk.read(10, 2, 0xa000, [&](IoStatus) { done = true; });
     rig.runUntil(done);
     const auto dma_after = rig.caches[0]->dmaReads.value() +
                            rig.caches[0]->dmaWrites.value();
