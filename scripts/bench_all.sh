@@ -2,7 +2,10 @@
 # Run every sweep bench serially (--jobs=1) and in parallel
 # (--jobs=N), verify the parallel run reproduces the serial stats
 # byte for byte, and record wall-clock and speedup per sweep in
-# BENCH_sweeps.json - the start of the perf trajectory.
+# BENCH_sweeps.json - the start of the perf trajectory.  Then run
+# the host-throughput bench (firefly_perf) and record its grid in
+# BENCH_perf.json - the baseline scripts/check.sh perf compares
+# against.
 #
 #   scripts/bench_all.sh [builddir] [jobs]
 #
@@ -82,3 +85,7 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out}")
 EOF
+
+echo "== firefly_perf"
+"$builddir/bench/firefly_perf" --perf-json="$repo/BENCH_perf.json"
+echo "wrote $repo/BENCH_perf.json"

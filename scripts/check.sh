@@ -8,6 +8,7 @@
 #   scripts/check.sh thread          # ThreadSanitizer build
 #   scripts/check.sh fuzz            # coherence fuzzing under ASan
 #   scripts/check.sh faults          # fault injection under ASan
+#   scripts/check.sh perf            # host-performance lane
 #
 # Each variant uses its own build directory so they do not trample
 # one another's caches.  The thread variant runs the tests labelled
@@ -20,7 +21,13 @@
 # variant runs the "faults"-labelled tests, the firefly_faults
 # availability experiment (with a --jobs determinism check), and the
 # fuzz corpus with fault injection armed, all under ASan with the
-# coherence checker on; see DESIGN.md section 10.
+# coherence checker on; see DESIGN.md section 10.  The perf variant
+# guards the host-performance work (DESIGN.md section 11): it proves
+# idle fast-forward changes nothing observable (byte-identical stats
+# exports with FIREFLY_NO_FASTFORWARD=1), that the idle-heavy
+# speedup is still there, and that throughput has not cratered
+# against the committed BENCH_perf.json baseline (lenient threshold:
+# hosts differ; the committed file tracks the trajectory).
 set -eu
 
 sanitize="${1:-}"
@@ -33,8 +40,9 @@ case "$sanitize" in
     thread)    builddir="$repo/build-tsan" ;;
     fuzz)      builddir="$repo/build-asan" ;;
     faults)    builddir="$repo/build-asan" ;;
+    perf)      builddir="$repo/build" ;;
     *)
-        echo "usage: $0 [address|undefined|thread|fuzz|faults]" >&2
+        echo "usage: $0 [address|undefined|thread|fuzz|faults|perf]" >&2
         exit 2
         ;;
 esac
@@ -85,6 +93,83 @@ if [ "$sanitize" = faults ]; then
         fi
     done
     echo "check.sh: all green (faults)"
+    exit 0
+fi
+
+if [ "$sanitize" = perf ]; then
+    cmake -B "$builddir" -S "$repo"
+    cmake --build "$builddir" -j "$(nproc)"
+    perfdir="$(mktemp -d)"
+    trap 'rm -rf "$perfdir"' EXIT
+
+    # 1. Fast-forward must be invisible: the perf bench's headline
+    #    stat export and a standard event-heavy bench's export must be
+    #    byte-identical with the fast path on and forced off.
+    "$builddir/bench/firefly_perf" --perf-reps=1 --perf-seconds=0.01 \
+        --stats-json="$perfdir/perf.fast.json" \
+        --perf-json="$perfdir/perf.fast.perf.json" > /dev/null
+    FIREFLY_NO_FASTFORWARD=1 \
+        "$builddir/bench/firefly_perf" --perf-reps=1 \
+        --perf-seconds=0.01 \
+        --stats-json="$perfdir/perf.slow.json" > /dev/null
+    cmp "$perfdir/perf.fast.json" "$perfdir/perf.slow.json" || {
+        echo "stats diverge between fast-forward and forced-slow" >&2
+        exit 1
+    }
+    "$builddir/bench/bench_io_dma" \
+        --stats-json="$perfdir/dma.fast.json" > /dev/null
+    FIREFLY_NO_FASTFORWARD=1 "$builddir/bench/bench_io_dma" \
+        --stats-json="$perfdir/dma.slow.json" > /dev/null
+    cmp "$perfdir/dma.fast.json" "$perfdir/dma.slow.json" || {
+        echo "bench_io_dma stats diverge with fast-forward off" >&2
+        exit 1
+    }
+
+    # 2. The point of the machinery: a real measurement run, checked
+    #    for the idle-heavy speedup and (leniently - hosts vary) for
+    #    throughput against the committed baseline.
+    "$builddir/bench/firefly_perf" \
+        --perf-json="$perfdir/perf.json" > /dev/null
+    python3 - "$perfdir/perf.json" "$repo/BENCH_perf.json" <<'EOF'
+import json, sys
+
+cur = json.load(open(sys.argv[1]))
+points = {(p["workload"], p["protocol"], p["cpus"]): p
+          for p in cur["points"]}
+
+# Idle fast-forward must still deliver: >= 3x over the forced-slow
+# path on every idle-heavy point (measured well above 10x in
+# practice; 3x is the contract).
+for key, p in points.items():
+    if key[0] != "idle":
+        continue
+    if p["speedup_vs_slow"] < 3.0:
+        sys.exit(f"idle point {key}: fast-forward speedup "
+                 f"{p['speedup_vs_slow']:.2f}x < 3x")
+
+# Trajectory check against the committed baseline.  Hosts differ, so
+# only a collapse (< 0.4x of the recorded throughput) fails; slower
+# hosts trip nothing, real regressions (an accidental O(n) in the
+# cycle loop) trip everything.
+try:
+    base = json.load(open(sys.argv[2]))
+except FileNotFoundError:
+    print("no committed BENCH_perf.json; skipping trajectory check")
+    sys.exit(0)
+for bp in base["points"]:
+    key = (bp["workload"], bp["protocol"], bp["cpus"])
+    p = points.get(key)
+    if p is None:
+        continue
+    ratio = p["fast_cycles_per_sec"] / bp["fast_cycles_per_sec"]
+    if ratio < 0.4:
+        sys.exit(f"point {key}: {p['fast_cycles_per_sec']:.3g} "
+                 f"cycles/s is {ratio:.2f}x of the committed "
+                 f"baseline - host-performance regression")
+print("perf lane: fast/slow identical, idle speedup >= 3x, "
+      "throughput within baseline envelope")
+EOF
+    echo "check.sh: all green (perf)"
     exit 0
 fi
 

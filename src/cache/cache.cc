@@ -84,30 +84,6 @@ Cache::Cache(Simulator &sim, MBus &bus,
         [this] { return dirtyFraction(); });
 }
 
-Addr
-Cache::lineBaseOf(Addr byte_addr) const
-{
-    return byte_addr - byte_addr % lineBytes;
-}
-
-CacheLine &
-Cache::lineFor(Addr byte_addr)
-{
-    return lines[(byte_addr / lineBytes) % lines.size()];
-}
-
-const CacheLine &
-Cache::lineFor(Addr byte_addr) const
-{
-    return lines[(byte_addr / lineBytes) % lines.size()];
-}
-
-bool
-Cache::tagMatch(const CacheLine &line, Addr byte_addr) const
-{
-    return line.base == lineBaseOf(byte_addr);
-}
-
 const CacheLine &
 Cache::lineAt(Addr byte_addr) const
 {
@@ -119,12 +95,6 @@ Cache::holds(Addr byte_addr) const
 {
     const CacheLine &line = lineFor(byte_addr);
     return line.valid() && tagMatch(line, byte_addr);
-}
-
-Word
-Cache::readWord(const CacheLine &line, Addr byte_addr) const
-{
-    return line.data[(byte_addr - line.base) / bytesPerWord];
 }
 
 void
@@ -188,21 +158,6 @@ Cache::traceLine(Addr line_base, LineState old_state,
     }
 }
 
-void
-Cache::countRef(const MemRef &ref, bool hit)
-{
-    switch (ref.type) {
-      case RefType::InstrRead: ++refsInstr; break;
-      case RefType::DataRead: ++refsRead; break;
-      case RefType::DataWrite: ++refsWrite; break;
-    }
-    if (isWrite(ref.type)) {
-        if (hit) ++writeHits; else ++writeMisses;
-    } else {
-        if (hit) ++readHits; else ++readMisses;
-    }
-}
-
 bool
 Cache::tryFastPath(const MemRef &ref, Word &out)
 {
@@ -236,7 +191,7 @@ Cache::tryFastPath(const MemRef &ref, Word &out)
 }
 
 Cache::AccessResult
-Cache::cpuAccess(const MemRef &ref, Callback cb)
+Cache::cpuAccessSlow(const MemRef &ref, Callback cb)
 {
     if (ref.addr % bytesPerWord != 0)
         panic("%s: unaligned reference 0x%x", _name.c_str(), ref.addr);

@@ -26,9 +26,9 @@
 #define FIREFLY_CACHE_CACHE_HH
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/coherence_observer.hh"
@@ -36,6 +36,7 @@
 #include "cache/protocol.hh"
 #include "mbus/mbus.hh"
 #include "sim/simulator.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 
 namespace firefly
@@ -52,8 +53,10 @@ class Cache : public MBusClient
         Addr lineBytes = 4;           ///< line size (power of two)
     };
 
-    /** Completion callback; receives the read data (0 for writes). */
-    using Callback = std::function<void(Word)>;
+    /** Completion callback; receives the read data (0 for writes).
+     *  A SmallFunction so the common captures (a `this` pointer plus
+     *  a MemRef) never heap-allocate on the per-reference path. */
+    using Callback = SmallFunction<void(Word), 48>;
 
     enum class AccessOutcome
     {
@@ -75,6 +78,9 @@ class Cache : public MBusClient
     /**
      * Processor access.  Hits are satisfied synchronously; anything
      * needing the bus returns Pending and fires `cb` on completion.
+     * Defined inline below: the read-hit case is the single hottest
+     * path in the simulator and completes without an out-of-line
+     * call.
      */
     AccessResult cpuAccess(const MemRef &ref, Callback cb);
 
@@ -183,6 +189,10 @@ class Cache : public MBusClient
     /** Record a CPU reference in the stat counters. */
     void countRef(const MemRef &ref, bool hit);
 
+    /** Everything cpuAccess's inline fast path cannot handle: writes,
+     *  misses, tag contention, queueing behind earlier accesses. */
+    AccessResult cpuAccessSlow(const MemRef &ref, Callback cb);
+
     /** Emit a line state-transition trace event (old -> new, cause).
      *  A no-op unless a sink is attached and the state changed. */
     void traceLine(Addr line_base, LineState old_state,
@@ -224,6 +234,71 @@ class Cache : public MBusClient
 
     StatGroup statGroup;
 };
+
+inline Addr
+Cache::lineBaseOf(Addr byte_addr) const
+{
+    return byte_addr - byte_addr % lineBytes;
+}
+
+inline CacheLine &
+Cache::lineFor(Addr byte_addr)
+{
+    return lines[(byte_addr / lineBytes) % lines.size()];
+}
+
+inline const CacheLine &
+Cache::lineFor(Addr byte_addr) const
+{
+    return lines[(byte_addr / lineBytes) % lines.size()];
+}
+
+inline bool
+Cache::tagMatch(const CacheLine &line, Addr byte_addr) const
+{
+    return line.base == lineBaseOf(byte_addr);
+}
+
+inline Word
+Cache::readWord(const CacheLine &line, Addr byte_addr) const
+{
+    return line.data[(byte_addr - line.base) / bytesPerWord];
+}
+
+inline void
+Cache::countRef(const MemRef &ref, bool hit)
+{
+    switch (ref.type) {
+      case RefType::InstrRead: ++refsInstr; break;
+      case RefType::DataRead: ++refsRead; break;
+      case RefType::DataWrite: ++refsWrite; break;
+    }
+    if (isWrite(ref.type)) {
+        if (hit) ++writeHits; else ++writeMisses;
+    } else {
+        if (hit) ++readHits; else ++readMisses;
+    }
+}
+
+inline Cache::AccessResult
+Cache::cpuAccess(const MemRef &ref, Callback cb)
+{
+    // The fast path handles exactly the aligned read hit on an idle
+    // engine; the checks mirror cpuAccessSlow's, in the same order,
+    // so counting and behaviour are identical on both routes.
+    if (ref.addr % bytesPerWord == 0 && tagBusyCycle != sim.now() &&
+        queue.empty() && !engineBusy && !isWrite(ref.type)) {
+        const CacheLine &line = lineFor(ref.addr);
+        if (line.valid() && tagMatch(line, ref.addr)) {
+            countRef(ref, true);
+            const Word out = readWord(line, ref.addr);
+            if (checkObs)
+                checkObs->loadObserved(ref.addr, out, *this, "hit");
+            return {AccessOutcome::Hit, out};
+        }
+    }
+    return cpuAccessSlow(ref, std::move(cb));
+}
 
 } // namespace firefly
 

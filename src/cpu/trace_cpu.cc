@@ -1,5 +1,7 @@
 #include "cpu/trace_cpu.hh"
 
+#include <algorithm>
+
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 
@@ -13,6 +15,11 @@ TraceCpu::TraceCpu(Simulator &sim, Cache &cache, RefSource &source,
       _name(std::move(name)), onchip(onchip), statGroup(_name)
 {
     sim.addClocked(this, Phase::Cpu);
+
+    // First tick boundary at or after "now": keeps tick phase on
+    // multiples of cyclesPerTick even for a CPU attached mid-run.
+    const Cycle cpt = timing.cyclesPerTick;
+    nextTickCycle = (sim.now() + cpt - 1) / cpt * cpt;
 
     statGroup.addCounter(&tickCount, "ticks", "processor ticks");
     statGroup.addCounter(&computeTickCount, "compute_ticks",
@@ -29,13 +36,25 @@ TraceCpu::TraceCpu(Simulator &sim, Cache &cache, RefSource &source,
         [this] { return tpi(); });
 }
 
+Cycle
+TraceCpu::nextWake(Cycle now) const
+{
+    // A halted processor never acts again.  A live one acts only on
+    // its tick boundary (every other bus cycle on the MicroVAX): the
+    // off cycles may be skipped whenever the rest of the machine is
+    // idle too.  A stalled processor still counts mem_wait_ticks per
+    // tick, so it must keep waking on the boundary.
+    if (_halted)
+        return kNeverWakes;
+    return std::max(now, nextTickCycle);
+}
+
 void
 TraceCpu::tick(Cycle now)
 {
-    if (_halted)
+    if (now < nextTickCycle || _halted)
         return;
-    if (now % timing.cyclesPerTick != 0)
-        return;
+    nextTickCycle = now + timing.cyclesPerTick;
 
     ++tickCount;
 
@@ -51,6 +70,7 @@ TraceCpu::tick(Cycle now)
         // issuing and halt.  The cache may still hold dirty lines -
         // the offlining host flushes them once the bus drains too.
         _halted = true;
+        sim.retireClocked(this);
         if (auto *ts = obs::traceSink())
             ts->instant(sim.now(), obs::kCatCpu, _name, "fenced");
         return;
@@ -78,6 +98,7 @@ TraceCpu::issue(Cycle now)
           case CpuStep::Kind::Halt:
             _halted = true;
             hasPending = false;
+            sim.retireClocked(this);
             if (auto *ts = obs::traceSink())
                 ts->instant(sim.now(), obs::kCatCpu, _name, "halt");
             return;

@@ -68,6 +68,7 @@ class TraceCpu : public Clocked
              OnChipCache *onchip = nullptr);
 
     void tick(Cycle now) override;
+    Cycle nextWake(Cycle now) const override;
 
     /**
      * Fence the processor: it stops issuing new work, drains any
@@ -116,6 +117,12 @@ class TraceCpu : public Clocked
     CpuTiming timing;
     std::string _name;
     OnChipCache *onchip;
+
+    /** Next cycle that is a processor tick boundary.  Kept instead of
+     *  computing `now % cyclesPerTick` so the every-cycle early-out in
+     *  tick() is a compare, not a division (hot: once per CPU per
+     *  simulated cycle). */
+    Cycle nextTickCycle = 0;
 
     bool _halted = false;
     bool fenced = false;

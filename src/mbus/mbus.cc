@@ -147,12 +147,28 @@ MBus::busy(const MBusClient *client) const
     return false;
 }
 
-void
-MBus::trace(Cycle now, const std::string &phase,
-            const std::string &detail)
+Cycle
+MBus::nextWake(Cycle now) const
 {
-    if (traceHook)
-        traceHook(now, phase, detail);
+    if (active)
+        return now;
+    // Idle bus: the earliest eligible pending request is the next
+    // arbitration; slots in parity-retry backoff wake at `earliest`.
+    Cycle wake = kNeverWakes;
+    for (const auto &slot : pending) {
+        if (!slot.has_value())
+            continue;
+        wake = std::min(wake, std::max(slot->earliest, now));
+    }
+    return wake;
+}
+
+void
+MBus::skipCycles(Cycle from, Cycle to)
+{
+    // tick() counts every cycle (idle ones are the denominator of
+    // load()); credit the skipped span so stats stay bit-identical.
+    totalCycleCount += to - from;
 }
 
 void
@@ -183,7 +199,7 @@ MBus::tick(Cycle now)
                    << active->addr << std::dec << " ("
                    << toString(active->kind) << ") by "
                    << active->initiator->busClientName();
-                trace(now, "arb+addr", os.str());
+                trace(now, "arb+addr", os.str().c_str());
             }
             if (auto *ts = obs::traceSink()) {
                 // The whole transaction renders as one slice on the

@@ -166,6 +166,8 @@ class MBus : public Clocked
     bool busy(const MBusClient *client) const;
 
     void tick(Cycle now) override;
+    Cycle nextWake(Cycle now) const override;
+    void skipCycles(Cycle from, Cycle to) override;
 
     /** The storage system behind the bus (for functional access). */
     MainMemory &memorySystem() { return memory; }
@@ -248,8 +250,16 @@ class MBus : public Clocked
     /** Parity NACK: drop the attempt (no side effects have happened
      *  yet) and re-arm the master's slot for a backed-off retry. */
     void parityAbort(Cycle now);
-    void trace(Cycle now, const std::string &phase,
-               const std::string &detail);
+    /** const char* so call sites build no std::string temporaries on
+     *  the (usual) no-hook path; the hook still receives strings.
+     *  Inline guard: several calls per bus cycle, hook almost never
+     *  attached outside the Figure 4 bench. */
+    void
+    trace(Cycle now, const char *phase, const char *detail)
+    {
+        if (traceHook)
+            traceHook(now, phase, detail);
+    }
 
     Simulator &sim;
     MainMemory &memory;

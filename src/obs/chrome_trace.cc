@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace firefly::obs
@@ -11,30 +12,7 @@ namespace firefly::obs
 namespace
 {
 
-/** Minimal JSON string escaping (quotes, backslash, control chars). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using firefly::jsonEscape;
 
 /** One cycle is 100 ns = 0.1 us; render "ts" exactly as cycles/10. */
 std::string

@@ -1,5 +1,6 @@
 #include "obs/stat_sampler.hh"
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace firefly::obs
@@ -34,6 +35,14 @@ StatSampler::addProbe(std::string label, std::function<double()> fn,
     if (!times.empty())
         fatal("StatSampler: add channels before the simulation runs");
     channels.push_back({std::move(label), std::move(fn), mode, 0.0, {}});
+}
+
+Cycle
+StatSampler::nextWake(Cycle now) const
+{
+    // Samples land on period boundaries only.
+    const Cycle rem = now % _period;
+    return rem == 0 ? now : now + (_period - rem);
 }
 
 void
@@ -84,7 +93,7 @@ StatSampler::writeJson(std::ostream &os) const
     for (std::size_t c = 0; c < channels.size(); ++c) {
         if (c)
             os << ",";
-        os << "\"" << channels[c].label << "\":[";
+        os << jsonQuote(channels[c].label) << ":[";
         const auto &values = channels[c].values;
         for (std::size_t i = 0; i < values.size(); ++i)
             os << (i ? "," : "") << statNumber(values[i]);

@@ -58,6 +58,7 @@ class StatSampler : public Clocked
                   Mode mode = Mode::Level);
 
     void tick(Cycle now) override;
+    Cycle nextWake(Cycle now) const override;
 
     Cycle period() const { return _period; }
     std::size_t sampleCount() const { return times.size(); }

@@ -4,13 +4,22 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/logging.hh"
+
 namespace firefly
 {
 
 void
-EventQueue::schedule(Cycle when, std::function<void()> fn,
-                     const char *label)
+EventQueue::schedule(Cycle when, EventFn fn, const char *label)
 {
+    if (when < horizon) {
+        panic("event '%s' scheduled at cycle %llu, but cycle %llu "
+              "has already run (a lost-completion bug the watchdog "
+              "cannot see)",
+              label && *label ? label : "(unlabelled)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(horizon));
+    }
     events.push_back({when, nextSeq++, label, std::move(fn)});
     std::push_heap(events.begin(), events.end(), Later{});
 }
@@ -24,17 +33,25 @@ EventQueue::nextEventCycle() const
 }
 
 std::size_t
-EventQueue::runUntil(Cycle now)
+EventQueue::runPending(Cycle now)
 {
     std::size_t ran = 0;
     while (!events.empty() && events.front().when <= now) {
         // Move out before pop so the callback may schedule new events.
         std::pop_heap(events.begin(), events.end(), Later{});
-        auto fn = std::move(events.back().fn);
+        auto ev = std::move(events.back());
         events.pop_back();
-        fn();
+        // The horizon tracks the event being processed, not the sweep
+        // target: a callback at cycle 1 may schedule for cycle 2 even
+        // when this sweep runs to 5 (the new event still fires in
+        // order, within this sweep).
+        if (ev.when > horizon)
+            horizon = ev.when;
+        ev.fn();
         ++ran;
     }
+    if (now > horizon)
+        horizon = now;
     return ran;
 }
 

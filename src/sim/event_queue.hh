@@ -17,10 +17,10 @@
 #define FIREFLY_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace firefly
@@ -30,13 +30,21 @@ namespace firefly
 class EventQueue
 {
   public:
+    /** Event closure.  The inline capacity covers the tree's largest
+     *  common capture (a moved-in completion callback plus a couple
+     *  of words); bigger captures fall back to a heap box. */
+    using EventFn = SmallFunction<void(), 64>;
+
     /**
      * Schedule fn to run at absolute cycle `when`.  `label` must be
      * a string with static lifetime (a literal); it is only read if
-     * the event ends up in a wedge diagnostic.
+     * the event ends up in a wedge diagnostic.  Scheduling before the
+     * horizon runUntil has already swept past is a simulator bug (the
+     * event would appear to fire "on time" while actually being late,
+     * hiding exactly the lost completions the watchdog exists to
+     * catch) and panics.
      */
-    void schedule(Cycle when, std::function<void()> fn,
-                  const char *label = "");
+    void schedule(Cycle when, EventFn fn, const char *label = "");
 
     /** Cycle of the earliest pending event, or max if empty. */
     Cycle nextEventCycle() const;
@@ -47,20 +55,36 @@ class EventQueue
     /**
      * Run every event scheduled at or before `now`.
      * @return how many events executed.
+     *
+     * Inline early-out: most cycles have no ripe event, and this is
+     * called once per simulated cycle, so the common case must not
+     * cost a function call.
      */
-    std::size_t runUntil(Cycle now);
+    std::size_t
+    runUntil(Cycle now)
+    {
+        if (events.empty() || events.front().when > now) {
+            if (now > horizon)
+                horizon = now;
+            return 0;
+        }
+        return runPending(now);
+    }
 
     /** Render the pending events (earliest first, up to `max`) for
      *  the watchdog's wedge diagnostic. */
     std::string describePending(std::size_t max = 16) const;
 
   private:
+    /** Out-of-line body of runUntil for cycles with ripe events. */
+    std::size_t runPending(Cycle now);
+
     struct Event
     {
         Cycle when;
         std::uint64_t seq;
         const char *label;
-        std::function<void()> fn;
+        EventFn fn;
     };
     struct Later
     {
@@ -77,6 +101,8 @@ class EventQueue
      *  describePending can walk the pending set. */
     std::vector<Event> events;
     std::uint64_t nextSeq = 0;
+    /** Latest cycle runUntil has swept; schedules before it panic. */
+    Cycle horizon = 0;
 };
 
 } // namespace firefly

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * JSON string escaping, shared by every JSON emitter in the tree
+ * (StatGroup::dumpJson, the Chrome trace sink, the stat sampler's
+ * columnar export).  Component and stat names are normally tame
+ * identifiers, but nothing enforces that - a workload or test can
+ * name a group "bad\"name" - and each emitter inventing its own
+ * escaping is how the control-character case was missed.
+ */
+
+#ifndef FIREFLY_SIM_JSON_HH
+#define FIREFLY_SIM_JSON_HH
+
+#include <string>
+
+namespace firefly
+{
+
+/** Escape `s` for use inside a JSON string literal (no quotes added):
+ *  quote, backslash, and all control characters below 0x20. */
+std::string jsonEscape(const std::string &s);
+
+/** `s` as a complete JSON string literal, quotes included. */
+std::string jsonQuote(const std::string &s);
+
+} // namespace firefly
+
+#endif // FIREFLY_SIM_JSON_HH

@@ -1,10 +1,18 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace firefly
 {
+
+Simulator::Simulator()
+{
+    ffEnabled = std::getenv("FIREFLY_NO_FASTFORWARD") == nullptr;
+}
 
 void
 Simulator::addClocked(Clocked *c, Phase phase)
@@ -13,6 +21,27 @@ Simulator::addClocked(Clocked *c, Phase phase)
     if (idx >= 4)
         panic("bad phase %zu", idx);
     phases[idx].push_back(c);
+}
+
+void
+Simulator::retireClocked(Clocked *c)
+{
+    retired.push_back(c);
+}
+
+void
+Simulator::compactRetired()
+{
+    for (auto &phase : phases) {
+        phase.erase(std::remove_if(phase.begin(), phase.end(),
+                        [this](Clocked *c) {
+                            return std::find(retired.begin(),
+                                             retired.end(),
+                                             c) != retired.end();
+                        }),
+                    phase.end());
+    }
+    retired.clear();
 }
 
 void
@@ -27,9 +56,53 @@ Simulator::stepOneCycle()
         for (auto *c : phase)
             c->tick(_now);
     }
+    if (!retired.empty())
+        compactRetired();
     if (watchdogBound != 0 && _now - lastProgress >= watchdogBound)
         reportWedge();
     ++_now;
+}
+
+void
+Simulator::fastForward(Cycle when)
+{
+    // The machine may skip to the earliest cycle any component could
+    // act: the next scheduled event, or a Clocked component's wake.
+    // Nothing executes over the skipped span, so nothing can schedule
+    // new work inside it - the bound stays valid once computed.
+    // A component reporting "busy now" ends the probe immediately
+    // (the bus, scanned first, is busy on almost every cycle of a
+    // saturated run), and repeated failures back the probe off so a
+    // busy machine pays almost nothing for the idle machinery.
+    Cycle wake = _events.nextEventCycle();
+    for (const auto &phase : phases) {
+        for (const auto *c : phase) {
+            const Cycle w = c->nextWake(_now);
+            if (w <= _now) {
+                ffRetryAt = _now + ffBackoff;
+                ffBackoff = std::min<Cycle>(ffBackoff * 2, 64);
+                return;
+            }
+            wake = std::min(wake, w);
+        }
+    }
+    ffBackoff = 1;
+    ffRetryAt = 0;
+    if (wake <= _now)
+        return;
+    Cycle target = std::min(wake, when);
+    // Never skip past the watchdog deadline: the wedge must fire at
+    // the same cycle it would have fired on the slow path.
+    if (watchdogBound != 0)
+        target = std::min(target, lastProgress + watchdogBound);
+    if (target <= _now)
+        return;
+    for (auto &phase : phases) {
+        for (auto *c : phase)
+            c->skipCycles(_now, target);
+    }
+    ffSkipped += target - _now;
+    _now = target;
 }
 
 void
@@ -55,9 +128,20 @@ Simulator::run(Cycle cycles)
 void
 Simulator::runUntil(Cycle when)
 {
-    stopRequested = false;
-    while (_now < when && !stopRequested)
+    // The stop request is consumed only when it is observed here, so
+    // one issued between run() calls stops the next run instead of
+    // being silently cleared on entry.
+    while (_now < when) {
+        if (stopRequested) {
+            stopRequested = false;
+            return;
+        }
         stepOneCycle();
+        if (ffEnabled && _now < when && _now >= ffRetryAt &&
+            !stopRequested) {
+            fastForward(when);
+        }
+    }
 }
 
 } // namespace firefly

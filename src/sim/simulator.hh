@@ -19,6 +19,7 @@
 #ifndef FIREFLY_SIM_SIMULATOR_HH
 #define FIREFLY_SIM_SIMULATOR_HH
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -35,6 +36,9 @@ class SimulationWedged : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/** nextWake() value for a component with no work ever again. */
+constexpr Cycle kNeverWakes = std::numeric_limits<Cycle>::max();
+
 /** Interface for components evaluated every cycle. */
 class Clocked
 {
@@ -43,6 +47,31 @@ class Clocked
 
     /** Evaluate one 100 ns bus cycle. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Quiescence protocol for idle fast-forward.  The earliest cycle
+     * >= `now` at which this component's tick() could do anything
+     * observable; kNeverWakes if it is fully quiescent.  The default
+     * (`now`) means "always busy", which disables fast-forward and
+     * preserves exact per-cycle ticking for components that do not
+     * opt in.  Implementations must be conservative: returning a
+     * cycle later than the component's first real work would change
+     * simulated behaviour.
+     */
+    virtual Cycle nextWake(Cycle now) const { return now; }
+
+    /**
+     * The simulator jumped time from `from` to `to` without ticking
+     * the cycles in between (all components reported quiescence over
+     * the span).  Components whose per-tick bookkeeping counts cycles
+     * (the MBus's total-cycle counter) compensate here so statistics
+     * are bit-identical to the slow path.
+     */
+    virtual void skipCycles(Cycle from, Cycle to)
+    {
+        (void)from;
+        (void)to;
+    }
 };
 
 /** Evaluation phases within one cycle, in execution order. */
@@ -58,7 +87,7 @@ enum class Phase
 class Simulator
 {
   public:
-    Simulator() = default;
+    Simulator();
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -74,14 +103,44 @@ class Simulator
     /** Register a synchronous component in the given phase. */
     void addClocked(Clocked *c, Phase phase);
 
+    /**
+     * Permanently remove a component from the tick rotation (a halted
+     * CPU never ticks again).  Safe to call from inside tick(): the
+     * removal is deferred to the end of the current cycle.  A retired
+     * component no longer contributes to quiescence decisions either.
+     */
+    void retireClocked(Clocked *c);
+
     /** Run for `cycles` more cycles (or until requestStop). */
     void run(Cycle cycles);
 
     /** Run until the absolute cycle `when` (or until requestStop). */
     void runUntil(Cycle when);
 
-    /** Ask the main loop to stop after the current cycle. */
+    /**
+     * Ask the main loop to stop after the current cycle.  The request
+     * latches: issued between run() calls (or on a run's final
+     * cycle), it stops the next run() immediately instead of being
+     * silently dropped.
+     */
     void requestStop() { stopRequested = true; }
+
+    /**
+     * Enable or disable idle fast-forward (on by default unless the
+     * FIREFLY_NO_FASTFORWARD environment variable is set).  With it
+     * on, whenever every Clocked component reports quiescence,
+     * runUntil jumps time straight to the next event (or the run
+     * horizon) instead of ticking empty cycles.  Simulated behaviour
+     * and statistics are bit-identical either way; the switch exists
+     * so tests and the perf lane can compare the two paths.
+     */
+    void setFastForward(bool enabled) { ffEnabled = enabled; }
+    bool fastForwardEnabled() const { return ffEnabled; }
+
+    /** Cycles skipped by idle fast-forward (host-perf diagnostics;
+     *  deliberately not a registered stat, so exports stay identical
+     *  between the fast and slow paths). */
+    Cycle cyclesFastForwarded() const { return ffSkipped; }
 
     /**
      * Wedge watchdog: if no component reports progress for `bound`
@@ -105,12 +164,23 @@ class Simulator
 
   private:
     void stepOneCycle();
+    void fastForward(Cycle when);
+    void compactRetired();
     [[noreturn]] void reportWedge();
 
     Cycle _now = 0;
     bool stopRequested = false;
+    bool ffEnabled = true;
+    Cycle ffSkipped = 0;
+    /** Quiescence-probe backoff: after a failed probe the next try
+     *  waits ffBackoff cycles (doubling, capped), so saturated runs
+     *  pay ~zero for the idle machinery.  Host-side only - skipping
+     *  or ticking an idle cycle is behaviourally identical. */
+    Cycle ffRetryAt = 0;
+    Cycle ffBackoff = 1;
     EventQueue _events;
     std::vector<Clocked *> phases[4];
+    std::vector<Clocked *> retired;
 
     Cycle watchdogBound = 0;
     bool watchdogThrows = false;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iomanip>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace firefly
@@ -189,17 +190,13 @@ StatGroup::dump(std::ostream &os, int indent) const
 namespace
 {
 
+// Hostile names (control characters included) must still produce
+// valid JSON; the shared escaper handles what the old local one
+// missed.
 std::string
 jsonString(const std::string &s)
 {
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
+    return jsonQuote(s);
 }
 
 } // namespace

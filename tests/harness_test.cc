@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/fuzz.hh"
 #include "firefly/system.hh"
 #include "harness/sweep.hh"
 #include "harness/worker_pool.hh"
@@ -271,6 +273,64 @@ TEST(SweepDeterminism, RepeatedParallelRunsAgree)
     const auto second = harness::runSweep(
         cpus, [](unsigned np) { return simulatePoint(np); }, 2);
     EXPECT_EQ(first, second);
+}
+
+/** One full machine, serialized, with fast-forward on or forced off.
+ *  The workload halts after a burst so the run has a long idle tail -
+ *  the span the fast path actually skips. */
+std::string
+runSystemStats(bool fast_forward)
+{
+    auto cfg = FireflyConfig::microVax(4);
+    FireflySystem sys(cfg);
+    SyntheticConfig workload;
+    workload.seed = 0xF00D;
+    workload.instructionLimit = 400;
+    sys.attachSyntheticWorkload(workload);
+    sys.simulator().setFastForward(fast_forward);
+    sys.run(0.003);
+    std::ostringstream os;
+    sys.stats().dumpJson(os);
+    return os.str();
+}
+
+TEST(FastForwardDeterminism, FullSystemStatsByteIdentical)
+{
+    // The tentpole invariant: skipping idle cycles changes nothing
+    // observable.  Every counter, histogram bucket, and formula in
+    // the full system stat tree is byte-identical either way.
+    EXPECT_EQ(runSystemStats(true), runSystemStats(false));
+}
+
+TEST(FastForwardDeterminism, FuzzCorpusWithFaultsAgrees)
+{
+    // The fuzz machine (own Simulator, DMA events, fault injection,
+    // throwing watchdog) must behave identically with the fast path
+    // forced off via the environment switch the perf lane uses.
+    check::FuzzConfig cfg;
+    cfg.seed = 0xFA57;
+    cfg.steps = 1200;
+    cfg.recordLoads = true;
+    cfg.faults.enabled = true;
+    cfg.faults.rates.busParity = 0.01;
+    cfg.faults.rates.eccSingle = 0.01;
+    cfg.faults.rates.deviceTimeout = 0.005;
+
+    const auto fast = check::runFuzz(cfg);
+    ::setenv("FIREFLY_NO_FASTFORWARD", "1", 1);
+    const auto slow = check::runFuzz(cfg);
+    ::unsetenv("FIREFLY_NO_FASTFORWARD");
+
+    EXPECT_EQ(fast.loadLog, slow.loadLog);
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    EXPECT_EQ(fast.loads, slow.loads);
+    EXPECT_EQ(fast.stores, slow.stores);
+    EXPECT_EQ(fast.dmaReads, slow.dmaReads);
+    EXPECT_EQ(fast.dmaWrites, slow.dmaWrites);
+    EXPECT_EQ(fast.parityErrors, slow.parityErrors);
+    EXPECT_EQ(fast.parityRecovered, slow.parityRecovered);
+    EXPECT_EQ(fast.eccCorrected, slow.eccCorrected);
+    EXPECT_EQ(fast.deviceTimeouts, slow.deviceTimeouts);
 }
 
 } // namespace

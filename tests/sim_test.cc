@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "sim/json.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -342,4 +345,194 @@ TEST(Simulator, RequestStopHaltsLoop)
     sim.addClocked(&stopper, Phase::Cpu);
     sim.run(1000);
     EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, RequestStopLatchesBetweenRuns)
+{
+    // Regression: runUntil used to clear stopRequested on entry, so a
+    // stop issued between runs (or on a run's final cycle) was
+    // silently dropped.  The request must latch until a run observes
+    // and consumes it.
+    Simulator sim;
+    sim.requestStop();
+    sim.run(50);
+    EXPECT_EQ(sim.now(), 0u);  // consumed immediately: zero cycles ran
+    sim.run(50);
+    EXPECT_EQ(sim.now(), 50u);  // and consumed exactly once
+
+    // A stop landing on the final cycle of a run still stops the next.
+    Simulator sim2;
+    struct Stopper : Clocked
+    {
+        Simulator *sim;
+        explicit Stopper(Simulator *s) : sim(s) {}
+        void
+        tick(Cycle now) override
+        {
+            if (now == 9)
+                sim->requestStop();
+        }
+    } stopper(&sim2);
+    sim2.addClocked(&stopper, Phase::Cpu);
+    sim2.run(10);  // ends at its horizon with the stop still pending
+    EXPECT_EQ(sim2.now(), 10u);
+    sim2.run(10);
+    EXPECT_EQ(sim2.now(), 10u);  // latched stop consumed, 0 cycles ran
+    sim2.run(10);
+    EXPECT_EQ(sim2.now(), 20u);
+}
+
+TEST(EventQueueDeathTest, SchedulingBeforeProcessedTimePanics)
+{
+    // A lost-completion bug that schedules "in the past" must die
+    // loudly, not fire late and pretend it was on time.
+    EventQueue q;
+    int ran = 0;
+    q.schedule(5, [&] { ++ran; });
+    q.runUntil(5);
+    EXPECT_EQ(ran, 1);
+    EXPECT_DEATH(q.schedule(3, [] {}), "already run");
+
+    // The horizon advances through empty sweeps too.
+    EventQueue q2;
+    q2.runUntil(10);
+    EXPECT_DEATH(q2.schedule(9, [] {}), "already run");
+    q2.schedule(10, [] {});  // exactly at the horizon is legal
+}
+
+namespace
+{
+
+/** A component with work only every `period` cycles, opting in to
+ *  idle fast-forward and recording everything that happens to it. */
+struct Periodic : Clocked
+{
+    Cycle period;
+    std::vector<Cycle> ticks;          ///< cycles tick() saw
+    Cycle covered = 0;                 ///< cycles ticked + skipped
+
+    explicit Periodic(Cycle p) : period(p) {}
+
+    void
+    tick(Cycle now) override
+    {
+        if (now % period == 0)
+            ticks.push_back(now);
+        ++covered;
+    }
+
+    Cycle
+    nextWake(Cycle now) const override
+    {
+        const Cycle rem = now % period;
+        return rem == 0 ? now : now + (period - rem);
+    }
+
+    void
+    skipCycles(Cycle from, Cycle to) override
+    {
+        covered += to - from;
+    }
+};
+
+} // namespace
+
+TEST(Simulator, FastForwardMatchesSlowPathTickForTick)
+{
+    // The core invariant: with every component quiescent between
+    // wakes, the fast path must deliver the exact same tick sequence
+    // as cycle-by-cycle execution, with the skipped spans accounted
+    // for through skipCycles.
+    Simulator fast;
+    fast.setFastForward(true);
+    Periodic pf(1000);
+    fast.addClocked(&pf, Phase::Device);
+    fast.run(5000);
+
+    Simulator slow;
+    slow.setFastForward(false);
+    Periodic ps(1000);
+    slow.addClocked(&ps, Phase::Device);
+    slow.run(5000);
+
+    const std::vector<Cycle> expected = {0, 1000, 2000, 3000, 4000};
+    EXPECT_EQ(pf.ticks, expected);
+    EXPECT_EQ(ps.ticks, expected);
+    EXPECT_EQ(pf.covered, 5000u);  // every cycle ticked or skipped
+    EXPECT_EQ(ps.covered, 5000u);
+    EXPECT_GT(fast.cyclesFastForwarded(), 0u);
+    EXPECT_EQ(slow.cyclesFastForwarded(), 0u);
+    EXPECT_EQ(fast.now(), slow.now());
+}
+
+TEST(Simulator, FastForwardJumpsToNextEvent)
+{
+    // An otherwise-empty machine leaps straight to the next scheduled
+    // event instead of ticking thousands of empty cycles.
+    Simulator sim;
+    sim.setFastForward(true);
+    std::vector<Cycle> fired;
+    sim.events().schedule(4000, [&] { fired.push_back(sim.now()); });
+    sim.run(5000);
+    EXPECT_EQ(fired, (std::vector<Cycle>{4000}));
+    EXPECT_EQ(sim.now(), 5000u);
+    EXPECT_GE(sim.cyclesFastForwarded(), 4000u);
+}
+
+TEST(Simulator, WatchdogWedgesAtTheSameCycleEitherPath)
+{
+    // Fast-forward must never leap past the watchdog deadline: a
+    // wedged machine dies at the identical cycle both ways.
+    const auto wedgeCycle = [](bool fast_forward) {
+        Simulator sim;
+        sim.setFastForward(fast_forward);
+        sim.setWatchdog(100, /*throw_on_wedge=*/true);
+        struct Quiet : Clocked
+        {
+            void tick(Cycle) override {}
+            Cycle nextWake(Cycle) const override { return kNeverWakes; }
+        } quiet;
+        sim.addClocked(&quiet, Phase::Device);
+        try {
+            sim.run(10000);
+        } catch (const SimulationWedged &) {
+            return sim.now();
+        }
+        ADD_FAILURE() << "watchdog did not fire";
+        return Cycle(0);
+    };
+    const Cycle fast = wedgeCycle(true);
+    EXPECT_EQ(fast, wedgeCycle(false));
+    EXPECT_EQ(fast, 100u);
+}
+
+TEST(Json, EscapeHandlesHostileStrings)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+    EXPECT_EQ(jsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+}
+
+TEST(Stats, DumpJsonEscapesHostileNames)
+{
+    // Stat and group names flow into the JSON export; a quote,
+    // backslash, or control character must not corrupt the document.
+    StatGroup g("evil \"group\"\\name");
+    Counter c;
+    g.addCounter(&c, "count\"er", "hostile counter");
+    g.addFormula("new\nline", "hostile formula", [] { return 1.0; });
+    ++c;
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("evil \\\"group\\\"\\\\name"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("count\\\"er"), std::string::npos) << out;
+    EXPECT_NE(out.find("new\\nline"), std::string::npos) << out;
+    // And the raw unescaped forms never appear inside the document.
+    EXPECT_EQ(out.find("count\"er"), std::string::npos) << out;
+    EXPECT_EQ(out.find("new\nline"), std::string::npos) << out;
 }
